@@ -1,0 +1,19 @@
+//! Regenerates the design-choice ablations DESIGN.md calls out.
+use iac_bench::{header, scale, Scale};
+use iac_sim::scenarios::ablations;
+
+fn main() {
+    header(
+        "Ablations — alignment on/off, estimation quality, channel similarity",
+        "each design choice is load-bearing in the direction the paper argues",
+    );
+    let slots = match scale() {
+        Scale::Paper => 60,
+        Scale::Quick => 15,
+    };
+    println!("{}", ablations::alignment_ablation(0xA0, slots));
+    println!();
+    println!("{}", ablations::estimation_sweep(0xA1, slots));
+    println!();
+    println!("{}", ablations::similarity_sweep(0xA2, slots));
+}

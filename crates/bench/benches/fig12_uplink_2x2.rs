@@ -1,0 +1,17 @@
+//! Regenerates Fig. 12: 2-client/2-AP uplink scatter (IAC vs 802.11-MIMO).
+use iac_bench::{experiment_config, header};
+use iac_sim::scenarios::fig12;
+
+fn main() {
+    header(
+        "Fig. 12 — 2-client/2-AP uplink, 3 concurrent packets",
+        "IAC increases the transfer rate by ~1.5x on average",
+    );
+    let report = fig12::run(&experiment_config());
+    println!("{report}");
+    println!("csv:");
+    println!("baseline_rate,iac_rate,gain");
+    for p in &report.points {
+        println!("{:.4},{:.4},{:.4}", p.baseline, p.iac, p.gain());
+    }
+}

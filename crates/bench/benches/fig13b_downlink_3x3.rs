@@ -1,0 +1,17 @@
+//! Regenerates Fig. 13b: 3-client/3-AP downlink scatter (3 concurrent packets).
+use iac_bench::{experiment_config, header};
+use iac_sim::scenarios::fig13::{run, Direction13};
+
+fn main() {
+    header(
+        "Fig. 13b — 3-client/3-AP downlink, 3 concurrent packets",
+        "IAC increases the rate by ~1.4x on the downlink",
+    );
+    let report = run(&experiment_config(), Direction13::Downlink);
+    println!("{report}");
+    println!("csv:");
+    println!("baseline_rate,iac_rate,gain");
+    for p in &report.points {
+        println!("{:.4},{:.4},{:.4}", p.baseline, p.iac, p.gain());
+    }
+}

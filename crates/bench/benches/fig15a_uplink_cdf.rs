@@ -1,0 +1,28 @@
+//! Regenerates Fig. 15a: whole-testbed uplink per-client gain CDFs for the
+//! three concurrency algorithms.
+use iac_bench::{header, scale, Scale};
+use iac_sim::scenarios::fig15::{run, Direction15, Fig15Config};
+
+fn main() {
+    header(
+        "Fig. 15a — whole-testbed uplink (17 clients, 3 APs)",
+        "avg gains: brute-force 2.32x, FIFO 1.9x, best-of-two 2.08x; brute force unfair",
+    );
+    let mut cfg = Fig15Config::paper_default();
+    if scale() == Scale::Quick {
+        cfg.base.slots = 80;
+        cfg.runs = 1;
+    } else {
+        cfg.base.slots = 400;
+        cfg.runs = 2;
+    }
+    let report = run(&cfg, Direction15::Uplink);
+    println!("{report}");
+    println!("csv:");
+    println!("policy,client,gain");
+    for (kind, gains) in &report.gains {
+        for (c, g) in gains.iter().enumerate() {
+            println!("{},{},{:.4}", kind.name(), c, g);
+        }
+    }
+}

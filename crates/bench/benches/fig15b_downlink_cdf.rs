@@ -1,0 +1,27 @@
+//! Regenerates Fig. 15b: whole-testbed downlink per-client gain CDFs.
+use iac_bench::{header, scale, Scale};
+use iac_sim::scenarios::fig15::{run, Direction15, Fig15Config};
+
+fn main() {
+    header(
+        "Fig. 15b — whole-testbed downlink (17 clients, 3 APs)",
+        "avg gains: brute-force 1.58x, FIFO 1.23x, best-of-two 1.52x",
+    );
+    let mut cfg = Fig15Config::paper_default();
+    if scale() == Scale::Quick {
+        cfg.base.slots = 80;
+        cfg.runs = 1;
+    } else {
+        cfg.base.slots = 400;
+        cfg.runs = 2;
+    }
+    let report = run(&cfg, Direction15::Downlink);
+    println!("{report}");
+    println!("csv:");
+    println!("policy,client,gain");
+    for (kind, gains) in &report.gains {
+        for (c, g) in gains.iter().enumerate() {
+            println!("{},{},{:.4}", kind.name(), c, g);
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates the Fig. 17 clustered-mesh extension from the conclusion.
+use iac_bench::{experiment_config, header};
+use iac_sim::scenarios::clustered;
+
+fn main() {
+    header(
+        "Fig. 17 — clustered MIMO mesh",
+        "IAC ~doubles the inter-cluster bottleneck, lifting end-to-end flow rate",
+    );
+    let mut cfg = experiment_config();
+    cfg.slots = cfg.slots.max(80);
+    println!("{}", clustered::run(&cfg, 6.0, 20.0));
+}

@@ -1,0 +1,15 @@
+//! Regenerates the Lemma 5.1/5.2 multiplexing-gain table for M = 2..5.
+use iac_bench::{header, scale, Scale};
+use iac_sim::scenarios::lemmas;
+
+fn main() {
+    header(
+        "Lemmas 5.1/5.2 — concurrent packets vs antennas",
+        "uplink 2M, downlink max(2M-2, floor(3M/2)); realised with zero leakage",
+    );
+    let m_max = match scale() {
+        Scale::Paper => 5,
+        Scale::Quick => 3,
+    };
+    println!("{}", lemmas::run(m_max, 0x1EA5));
+}

@@ -1,0 +1,11 @@
+//! Regenerates the §7d/e overhead accounting.
+use iac_bench::header;
+use iac_sim::scenarios::overhead;
+
+fn main() {
+    header(
+        "§7d/e — coordination overhead",
+        "metadata ~1-2% of 1440-byte payloads; one wire broadcast per decoded packet",
+    );
+    println!("{}", overhead::run(3, 1440, 0x7D));
+}

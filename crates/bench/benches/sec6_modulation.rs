@@ -1,0 +1,11 @@
+//! Regenerates the §6b claim: IAC is modulation- and FEC-agnostic.
+use iac_bench::header;
+use iac_sim::scenarios::sec6;
+
+fn main() {
+    header(
+        "§6b — modulation/FEC transparency",
+        "IAC works with various modulations and FEC codes",
+    );
+    println!("{}", sec6::run_modulation_matrix(0x6B));
+}

@@ -1,0 +1,15 @@
+//! Regenerates the §6c conjecture: per-subcarrier alignment on selective channels.
+use iac_bench::{header, scale, Scale};
+use iac_sim::scenarios::ofdm;
+
+fn main() {
+    header(
+        "§6c — per-subcarrier alignment (the conjecture USRP1 could not test)",
+        "alignment per OFDM subcarrier works on frequency-selective channels",
+    );
+    let trials = match scale() {
+        Scale::Paper => 50,
+        Scale::Quick => 10,
+    };
+    println!("{}", ofdm::run(64, 6, trials, 0x6C));
+}

@@ -1,0 +1,220 @@
+//! Channel estimation.
+//!
+//! IAC needs channel knowledge at the leader AP to compute encoding and
+//! decoding vectors (§8). The paper estimates uplink channels from client
+//! acks and association frames — standard MIMO training — and tracks them
+//! over time. Two layers are provided here:
+//!
+//! * [`ls_estimate`] — the actual least-squares estimator used by the
+//!   sample-level PHY: given known training symbols sent per antenna and the
+//!   received snapshots, recover `Ĥ`.
+//! * [`estimate_with_error`] — the closed-form error model used by the
+//!   (much faster) matrix-level experiments: `Ĥ = H + E` with
+//!   `E ~ CN(0, σ²/L)` per entry, the exact error statistics LS estimation
+//!   yields from `L` training snapshots at a given estimation SNR.
+
+use iac_linalg::{CMat, Qr, Result, Rng64};
+
+/// Configuration of the estimation-error model.
+#[derive(Debug, Clone, Copy)]
+pub struct EstimationConfig {
+    /// SNR of the training signal at the estimating receiver, in dB.
+    pub estimation_snr_db: f64,
+    /// Number of training snapshots per transmit antenna (the paper uses a
+    /// 32-bit preamble).
+    pub training_len: usize,
+}
+
+impl EstimationConfig {
+    /// Paper-like defaults: 25 dB estimation SNR over a 32-sample preamble.
+    pub fn paper_default() -> Self {
+        Self {
+            estimation_snr_db: 25.0,
+            training_len: 32,
+        }
+    }
+
+    /// Perfect channel state information (for ablations).
+    pub fn perfect() -> Self {
+        Self {
+            estimation_snr_db: f64::INFINITY,
+            training_len: 1,
+        }
+    }
+
+    /// Per-entry error variance of the resulting estimate, relative to unit
+    /// channel-entry power.
+    pub fn error_variance(&self) -> f64 {
+        if self.estimation_snr_db.is_infinite() {
+            return 0.0;
+        }
+        crate::pathloss::db_to_linear(-self.estimation_snr_db) / self.training_len as f64
+    }
+}
+
+/// Apply the estimation-error model: `Ĥ = H + E`, `E ~ CN(0, σ²·p̄)` i.i.d.
+/// per entry, where `p̄` is the average entry power of `H` (so error scales
+/// with the link gain, as it does physically).
+pub fn estimate_with_error(h: &CMat, config: &EstimationConfig, rng: &mut Rng64) -> CMat {
+    let var = config.error_variance();
+    if var == 0.0 {
+        return h.clone();
+    }
+    let entries = (h.rows() * h.cols()) as f64;
+    let avg_power = h.frobenius_norm().powi(2) / entries;
+    CMat::from_fn(h.rows(), h.cols(), |r, c| {
+        h[(r, c)] + rng.cn(var * avg_power)
+    })
+}
+
+/// Least-squares channel estimation from training.
+///
+/// `sent` is `t×L` (each row: the training stream of one transmit antenna),
+/// `received` is `r×L` (each row: one receive antenna's snapshots). Solves
+/// `received ≈ H·sent` for the `r×t` channel in the least-squares sense.
+/// Requires `L ≥ t` and linearly independent training rows (orthogonal
+/// per-antenna preambles, as standard MIMO training uses).
+pub fn ls_estimate(sent: &CMat, received: &CMat) -> Result<CMat> {
+    // H = Y Xᴴ (X Xᴴ)⁻¹, computed stably via QR on Xᴴ:
+    // Hᴴ = lstsq(Xᴴ, Yᴴ) column by column.
+    let xh = sent.hermitian(); // L×t
+    let qr = Qr::compute(&xh)?;
+    let yh = received.hermitian(); // L×r
+    let mut h_herm = CMat::zeros(sent.rows(), received.rows()); // t×r
+    for c in 0..yh.cols() {
+        let col = qr.solve_least_squares(&yh.col(c))?;
+        h_herm.set_col(c, &col);
+    }
+    Ok(h_herm.hermitian())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iac_linalg::{C64, Rng64};
+
+    #[test]
+    fn perfect_config_is_exact() {
+        let mut rng = Rng64::new(1);
+        let h = CMat::random(2, 2, &mut rng);
+        let est = estimate_with_error(&h, &EstimationConfig::perfect(), &mut rng);
+        assert_eq!(est, h);
+    }
+
+    #[test]
+    fn error_variance_scales_with_snr_and_length() {
+        let base = EstimationConfig {
+            estimation_snr_db: 20.0,
+            training_len: 32,
+        };
+        let better_snr = EstimationConfig {
+            estimation_snr_db: 30.0,
+            ..base
+        };
+        let longer = EstimationConfig {
+            training_len: 64,
+            ..base
+        };
+        assert!(better_snr.error_variance() < base.error_variance());
+        assert!((longer.error_variance() - base.error_variance() / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empirical_error_matches_model() {
+        let config = EstimationConfig {
+            estimation_snr_db: 20.0,
+            training_len: 16,
+        };
+        let mut rng = Rng64::new(2);
+        let trials = 20_000;
+        let mut err_power = 0.0;
+        for _ in 0..trials {
+            let h = CMat::random(2, 2, &mut rng);
+            let est = estimate_with_error(&h, &config, &mut rng);
+            err_power += (&est - &h).frobenius_norm().powi(2) / 4.0;
+        }
+        let measured = err_power / trials as f64;
+        let expected = config.error_variance(); // unit-power entries
+        assert!(
+            (measured / expected - 1.0).abs() < 0.1,
+            "measured {measured}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn ls_estimation_noiseless_is_exact() {
+        let mut rng = Rng64::new(3);
+        let h = CMat::random(2, 2, &mut rng);
+        // Orthogonal training: antenna 0 sends [1,0,1,0...], antenna 1 sends
+        // [0,1,0,1...] — the "standard MIMO channel estimation" of §8a.
+        let l = 8;
+        let sent = CMat::from_fn(2, l, |r, c| {
+            if c % 2 == r {
+                C64::one()
+            } else {
+                C64::zero()
+            }
+        });
+        let received = h.mul_mat(&sent);
+        let est = ls_estimate(&sent, &received).unwrap();
+        assert!((&est - &h).frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn ls_estimation_error_shrinks_with_training_length() {
+        let mut rng = Rng64::new(4);
+        let h = CMat::random(2, 2, &mut rng);
+        let noise_power = 0.01;
+        let mut errs = Vec::new();
+        for &l in &[8usize, 128] {
+            let sent = CMat::from_fn(2, l, |r, c| {
+                if c % 2 == r {
+                    C64::one()
+                } else {
+                    C64::zero()
+                }
+            });
+            let mut received = h.mul_mat(&sent);
+            // Average over repeated noisy estimates.
+            let trials = 200;
+            let mut err = 0.0;
+            for _ in 0..trials {
+                let noisy = CMat::from_fn(received.rows(), received.cols(), |r, c| {
+                    received[(r, c)] + rng.cn(noise_power)
+                });
+                let est = ls_estimate(&sent, &noisy).unwrap();
+                err += (&est - &h).frobenius_norm().powi(2);
+            }
+            errs.push(err / trials as f64);
+            received = h.mul_mat(&sent); // keep borrowck simple
+            let _ = received;
+        }
+        // 16× more training → ~16× lower error power.
+        assert!(
+            errs[1] < errs[0] / 8.0,
+            "short {} vs long {}",
+            errs[0],
+            errs[1]
+        );
+    }
+
+    #[test]
+    fn ls_estimation_mimo_simultaneous_training() {
+        // Training can also be full-rank random (both antennas active):
+        // the LS solve still separates the columns.
+        let mut rng = Rng64::new(5);
+        let h = CMat::random(3, 3, &mut rng);
+        let sent = CMat::random(3, 24, &mut rng);
+        let received = h.mul_mat(&sent);
+        let est = ls_estimate(&sent, &received).unwrap();
+        assert!((&est - &h).frobenius_norm() < 1e-8);
+    }
+
+    #[test]
+    fn ls_underdetermined_fails() {
+        // 2 TX antennas but a single snapshot: cannot separate them.
+        let sent = CMat::zeros(2, 1);
+        let received = CMat::zeros(2, 1);
+        assert!(ls_estimate(&sent, &received).is_err());
+    }
+}

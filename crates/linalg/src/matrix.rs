@@ -1,0 +1,551 @@
+//! Dense complex matrices (row-major).
+//!
+//! Channel matrices `H`, calibration matrices, precoders and projectors are
+//! all `CMat`s. Matrices in this workspace are small (antennas-per-node
+//! squared), so the operations are written for clarity and robustness.
+
+use crate::{C64, CVec, LinAlgError, Result, Rng64};
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense complex matrix with row-major storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl CMat {
+    /// Construct from explicit storage (row-major, length `rows·cols`).
+    pub fn new(rows: usize, cols: usize, data: Vec<C64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "storage length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::new(rows, cols, vec![C64::zero(); rows * cols])
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::one();
+        }
+        m
+    }
+
+    /// Build with a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> C64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self::new(rows, cols, data)
+    }
+
+    /// Build from rows.
+    pub fn from_rows(rows: &[CVec]) -> Self {
+        assert!(!rows.is_empty(), "from_rows needs at least one row");
+        let cols = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "ragged rows in from_rows"
+        );
+        Self::from_fn(rows.len(), cols, |r, c| rows[r][c])
+    }
+
+    /// Build from columns.
+    pub fn from_cols(cols: &[CVec]) -> Self {
+        assert!(!cols.is_empty(), "from_cols needs at least one column");
+        let rows = cols[0].len();
+        assert!(
+            cols.iter().all(|c| c.len() == rows),
+            "ragged columns in from_cols"
+        );
+        Self::from_fn(rows, cols.len(), |r, c| cols[c][r])
+    }
+
+    /// Diagonal matrix from the given entries.
+    pub fn diag(entries: &[C64]) -> Self {
+        let n = entries.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &e) in entries.iter().enumerate() {
+            m[(i, i)] = e;
+        }
+        m
+    }
+
+    /// i.i.d. `CN(0,1)` entries — a Rayleigh-fading channel draw.
+    pub fn random(rows: usize, cols: usize, rng: &mut Rng64) -> Self {
+        Self::from_fn(rows, cols, |_, _| rng.cn01())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// True when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow raw storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Extract row `r` as a vector.
+    pub fn row(&self, r: usize) -> CVec {
+        assert!(r < self.rows);
+        CVec::new(self.data[r * self.cols..(r + 1) * self.cols].to_vec())
+    }
+
+    /// Extract column `c` as a vector.
+    pub fn col(&self, c: usize) -> CVec {
+        assert!(c < self.cols);
+        CVec::from_fn(self.rows, |r| self[(r, c)])
+    }
+
+    /// Replace column `c`.
+    pub fn set_col(&mut self, c: usize, v: &CVec) {
+        assert_eq!(v.len(), self.rows, "set_col dimension mismatch");
+        for r in 0..self.rows {
+            self[(r, c)] = v[r];
+        }
+    }
+
+    /// Transpose (no conjugation). Channel reciprocity relates uplink and
+    /// downlink through the plain transpose: `(H^d)ᵀ = C_rx Hᵘ C_tx`
+    /// (paper Eq. 8), so both transpose flavours matter here.
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Conjugate (Hermitian) transpose `Aᴴ`.
+    pub fn hermitian(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |r, c| self[(c, r)].conj())
+    }
+
+    /// Elementwise conjugate.
+    pub fn conj(&self) -> Self {
+        Self::from_fn(self.rows, self.cols, |r, c| self[(r, c)].conj())
+    }
+
+    /// Matrix-vector product `A·x`.
+    pub fn mul_vec(&self, x: &CVec) -> CVec {
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "mul_vec: {}x{} by vector of length {}",
+            self.rows,
+            self.cols,
+            x.len()
+        );
+        CVec::from_fn(self.rows, |r| {
+            let mut acc = C64::zero();
+            for c in 0..self.cols {
+                acc = self[(r, c)].mul_add(x[c], acc);
+            }
+            acc
+        })
+    }
+
+    /// Matrix product `A·B`.
+    pub fn mul_mat(&self, b: &Self) -> Self {
+        assert_eq!(
+            self.cols, b.rows,
+            "mul_mat: {}x{} by {}x{}",
+            self.rows, self.cols, b.rows, b.cols
+        );
+        let mut out = Self::zeros(self.rows, b.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == C64::zero() {
+                    continue;
+                }
+                for c in 0..b.cols {
+                    out[(r, c)] = a.mul_add(b[(k, c)], out[(r, c)]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Scale by a complex factor.
+    pub fn scale_c(&self, k: C64) -> Self {
+        Self::from_fn(self.rows, self.cols, |r, c| self[(r, c)] * k)
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(&self, k: f64) -> Self {
+        self.scale_c(C64::real(k))
+    }
+
+    /// Trace (sum of diagonal entries).
+    pub fn trace(&self) -> C64 {
+        assert!(self.is_square(), "trace of non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm `‖A‖_F`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|z| z.norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Maximum absolute entry.
+    pub fn norm_inf(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+
+    /// True when `‖A − Aᴴ‖` is tiny relative to `‖A‖`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let scale = self.frobenius_norm().max(1.0);
+        for r in 0..self.rows {
+            for c in r..self.cols {
+                if (self[(r, c)] - self[(c, r)].conj()).abs() > tol * scale {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Solve `A·x = b` via LU with partial pivoting.
+    pub fn solve(&self, b: &CVec) -> Result<CVec> {
+        crate::lu::Lu::factor(self)?.solve(b)
+    }
+
+    /// Matrix inverse via LU.
+    pub fn inverse(&self) -> Result<Self> {
+        crate::lu::Lu::factor(self)?.inverse()
+    }
+
+    /// Determinant via LU.
+    pub fn det(&self) -> Result<C64> {
+        if !self.is_square() {
+            return Err(LinAlgError::ShapeMismatch {
+                expected: (self.rows, self.rows),
+                got: (self.rows, self.cols),
+            });
+        }
+        match crate::lu::Lu::factor(self) {
+            Ok(lu) => Ok(lu.det()),
+            Err(LinAlgError::Singular) => Ok(C64::zero()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Numerical rank via singular values above `tol·σ_max`.
+    pub fn rank(&self, tol: f64) -> usize {
+        let svd = crate::svd::Svd::compute(self);
+        let smax = svd.singular_values.first().copied().unwrap_or(0.0);
+        if smax <= 0.0 {
+            return 0;
+        }
+        svd.singular_values
+            .iter()
+            .filter(|&&s| s > tol * smax)
+            .count()
+    }
+
+    /// 2-norm condition number `σ_max/σ_min` (∞ when singular).
+    pub fn condition_number(&self) -> f64 {
+        let svd = crate::svd::Svd::compute(self);
+        let smax = svd.singular_values.first().copied().unwrap_or(0.0);
+        let smin = svd.singular_values.last().copied().unwrap_or(0.0);
+        if smin <= 0.0 {
+            f64::INFINITY
+        } else {
+            smax / smin
+        }
+    }
+
+    /// Sub-matrix copy: rows `r0..r0+h`, cols `c0..c0+w`.
+    pub fn submatrix(&self, r0: usize, c0: usize, h: usize, w: usize) -> Self {
+        assert!(r0 + h <= self.rows && c0 + w <= self.cols, "submatrix bounds");
+        Self::from_fn(h, w, |r, c| self[(r0 + r, c0 + c)])
+    }
+
+    /// Horizontal concatenation `[A | B]`.
+    pub fn hcat(&self, b: &Self) -> Self {
+        assert_eq!(self.rows, b.rows, "hcat row mismatch");
+        Self::from_fn(self.rows, self.cols + b.cols, |r, c| {
+            if c < self.cols {
+                self[(r, c)]
+            } else {
+                b[(r, c - self.cols)]
+            }
+        })
+    }
+
+    /// Vertical concatenation.
+    pub fn vcat(&self, b: &Self) -> Self {
+        assert_eq!(self.cols, b.cols, "vcat column mismatch");
+        Self::from_fn(self.rows + b.rows, self.cols, |r, c| {
+            if r < self.rows {
+                self[(r, c)]
+            } else {
+                b[(r - self.rows, c)]
+            }
+        })
+    }
+}
+
+impl Index<(usize, usize)> for CMat {
+    type Output = C64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &C64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMat {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut C64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add for &CMat {
+    type Output = CMat;
+    fn add(self, rhs: &CMat) -> CMat {
+        assert_eq!(self.shape(), rhs.shape(), "adding mismatched shapes");
+        CMat::from_fn(self.rows, self.cols, |r, c| self[(r, c)] + rhs[(r, c)])
+    }
+}
+
+impl Sub for &CMat {
+    type Output = CMat;
+    fn sub(self, rhs: &CMat) -> CMat {
+        assert_eq!(self.shape(), rhs.shape(), "subtracting mismatched shapes");
+        CMat::from_fn(self.rows, self.cols, |r, c| self[(r, c)] - rhs[(r, c)])
+    }
+}
+
+impl Mul for &CMat {
+    type Output = CMat;
+    fn mul(self, rhs: &CMat) -> CMat {
+        self.mul_mat(rhs)
+    }
+}
+
+impl Mul<&CVec> for &CMat {
+    type Output = CVec;
+    fn mul(self, rhs: &CVec) -> CVec {
+        self.mul_vec(rhs)
+    }
+}
+
+impl std::fmt::Display for CMat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for r in 0..self.rows {
+            write!(f, "[")?;
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self[(r, c)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::{approx_eq, approx_eq_c};
+
+    #[test]
+    fn identity_multiplication() {
+        let mut rng = Rng64::new(1);
+        let a = CMat::random(3, 3, &mut rng);
+        let i = CMat::identity(3);
+        let left = i.mul_mat(&a);
+        let right = a.mul_mat(&i);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!(approx_eq_c(left[(r, c)], a[(r, c)], 1e-12));
+                assert!(approx_eq_c(right[(r, c)], a[(r, c)], 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let a = CMat::from_fn(2, 2, |r, c| C64::real((r * 2 + c + 1) as f64));
+        let x = CVec::from_real(&[1.0, -1.0]);
+        let y = a.mul_vec(&x);
+        assert_eq!(y[0], C64::real(-1.0)); // 1 - 2
+        assert_eq!(y[1], C64::real(-1.0)); // 3 - 4
+    }
+
+    #[test]
+    fn hermitian_transpose_property() {
+        // ⟨Ax, y⟩ = ⟨x, Aᴴy⟩
+        let mut rng = Rng64::new(2);
+        let a = CMat::random(3, 3, &mut rng);
+        let x = CVec::random(3, &mut rng);
+        let y = CVec::random(3, &mut rng);
+        let lhs = a.mul_vec(&x).dot(&y);
+        let rhs = x.dot(&a.hermitian().mul_vec(&y));
+        assert!(approx_eq_c(lhs, rhs, 1e-10));
+    }
+
+    #[test]
+    fn transpose_of_transpose() {
+        let mut rng = Rng64::new(3);
+        let a = CMat::random(2, 4, &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn product_transpose_reverses() {
+        let mut rng = Rng64::new(4);
+        let a = CMat::random(2, 3, &mut rng);
+        let b = CMat::random(3, 2, &mut rng);
+        let lhs = a.mul_mat(&b).transpose();
+        let rhs = b.transpose().mul_mat(&a.transpose());
+        assert!((&lhs - &rhs).frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn trace_of_identity() {
+        assert_eq!(CMat::identity(4).trace(), C64::real(4.0));
+    }
+
+    #[test]
+    fn diag_and_cols() {
+        let d = CMat::diag(&[C64::real(1.0), C64::real(2.0)]);
+        assert_eq!(d.col(1)[1], C64::real(2.0));
+        assert_eq!(d.col(1)[0], C64::zero());
+    }
+
+    #[test]
+    fn from_cols_roundtrip() {
+        let mut rng = Rng64::new(5);
+        let c0 = CVec::random(3, &mut rng);
+        let c1 = CVec::random(3, &mut rng);
+        let m = CMat::from_cols(&[c0.clone(), c1.clone()]);
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m.col(0), c0);
+        assert_eq!(m.col(1), c1);
+    }
+
+    #[test]
+    fn rank_of_rank_deficient() {
+        // Second column = 2 × first column → rank 1.
+        let c = CVec::from_real(&[1.0, 2.0]);
+        let m = CMat::from_cols(&[c.clone(), c.scale(2.0)]);
+        assert_eq!(m.rank(1e-9), 1);
+        assert_eq!(CMat::identity(3).rank(1e-9), 3);
+        assert_eq!(CMat::zeros(2, 2).rank(1e-9), 0);
+    }
+
+    #[test]
+    fn random_channel_is_full_rank() {
+        // Footnote 3 of the paper: channel matrices are "typically
+        // invertible"; CN(0,1) draws are full rank almost surely.
+        let mut rng = Rng64::new(6);
+        for _ in 0..50 {
+            let h = CMat::random(2, 2, &mut rng);
+            assert_eq!(h.rank(1e-9), 2);
+        }
+    }
+
+    #[test]
+    fn solve_then_verify() {
+        let mut rng = Rng64::new(7);
+        let a = CMat::random(4, 4, &mut rng);
+        let x_true = CVec::random(4, &mut rng);
+        let b = a.mul_vec(&x_true);
+        let x = a.solve(&b).unwrap();
+        for i in 0..4 {
+            assert!(approx_eq_c(x[i], x_true[i], 1e-8));
+        }
+    }
+
+    #[test]
+    fn inverse_times_self_is_identity() {
+        let mut rng = Rng64::new(8);
+        let a = CMat::random(3, 3, &mut rng);
+        let inv = a.inverse().unwrap();
+        let prod = a.mul_mat(&inv);
+        assert!((&prod - &CMat::identity(3)).frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn det_of_singular_is_zero() {
+        let c = CVec::from_real(&[1.0, 2.0]);
+        let m = CMat::from_cols(&[c.clone(), c]);
+        assert!(m.det().unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn hcat_vcat_shapes() {
+        let a = CMat::zeros(2, 3);
+        let b = CMat::zeros(2, 1);
+        assert_eq!(a.hcat(&b).shape(), (2, 4));
+        let c = CMat::zeros(1, 3);
+        assert_eq!(a.vcat(&c).shape(), (3, 3));
+    }
+
+    #[test]
+    fn submatrix_extracts() {
+        let m = CMat::from_fn(3, 3, |r, c| C64::real((r * 3 + c) as f64));
+        let s = m.submatrix(1, 1, 2, 2);
+        assert_eq!(s[(0, 0)], C64::real(4.0));
+        assert_eq!(s[(1, 1)], C64::real(8.0));
+    }
+
+    #[test]
+    fn is_hermitian_detects() {
+        let mut rng = Rng64::new(9);
+        let a = CMat::random(3, 3, &mut rng);
+        let h = &a + &a.hermitian(); // A + Aᴴ is Hermitian
+        assert!(h.is_hermitian(1e-12));
+        assert!(!a.is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn condition_number_of_identity() {
+        let c = CMat::identity(3).condition_number();
+        assert!(approx_eq(c, 1.0, 1e-9));
+    }
+}

@@ -1,0 +1,282 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every experiment in this workspace must be bit-reproducible from a `u64`
+//! seed (the EXPERIMENTS.md numbers are regenerated from fixed seeds), so the
+//! simulator carries its own generator instead of depending on whichever
+//! `rand` major version the build resolves. The algorithm is xoshiro256++ by
+//! Blackman & Vigna — tiny, fast, and of ample quality for Monte-Carlo channel
+//! draws (this is not a cryptographic generator and must never be used as
+//! one).
+
+use crate::C64;
+
+/// xoshiro256++ pseudo-random generator with Gaussian helpers.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: [u64; 4],
+    /// Cached second output of the Box–Muller transform.
+    spare_gaussian: Option<f64>,
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng64 {
+    /// Create a generator from a seed. Any seed (including 0) is valid; the
+    /// internal state is expanded through splitmix64 so correlated seeds do
+    /// not yield correlated streams.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self {
+            state,
+            spare_gaussian: None,
+        }
+    }
+
+    /// Derive an independent child generator. Used to hand each experiment
+    /// repetition (possibly running on another thread) its own stream.
+    pub fn fork(&mut self) -> Self {
+        Self::new(self.next_u64())
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire's rejection method (unbiased).
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut l = m as u64;
+        if l < n {
+            let t = n.wrapping_neg() % n;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Bernoulli draw.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Standard normal via Box–Muller (cached pair).
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(g) = self.spare_gaussian.take() {
+            return g;
+        }
+        // Draw u in (0,1] to keep ln(u) finite.
+        let mut u = self.next_f64();
+        if u <= f64::MIN_POSITIVE {
+            u = f64::MIN_POSITIVE;
+        }
+        let v = self.next_f64();
+        let r = (-2.0 * u.ln()).sqrt();
+        let theta = std::f64::consts::TAU * v;
+        self.spare_gaussian = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal with given mean and standard deviation.
+    #[inline]
+    pub fn gaussian_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.gaussian()
+    }
+
+    /// Circularly-symmetric complex Gaussian `CN(0, 1)`: `E|z|² = 1`, so each
+    /// part has variance 1/2. This is the canonical Rayleigh-fading
+    /// coefficient distribution.
+    #[inline]
+    pub fn cn01(&mut self) -> C64 {
+        const SIGMA: f64 = std::f64::consts::FRAC_1_SQRT_2;
+        C64::new(SIGMA * self.gaussian(), SIGMA * self.gaussian())
+    }
+
+    /// `CN(0, σ²)` with the given total variance.
+    #[inline]
+    pub fn cn(&mut self, variance: f64) -> C64 {
+        self.cn01() * variance.sqrt()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Choose `k` distinct indices from `0..n` (uniformly, order randomised).
+    pub fn choose_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot choose {k} from {n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx.truncate(k);
+        idx
+    }
+
+    /// Pick one element of a slice by reference.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.below(items.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = Rng64::new(42);
+        let mut b = Rng64::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = Rng64::new(0);
+        let x = r.next_u64();
+        let y = r.next_u64();
+        assert_ne!(x, 0);
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn uniform_range_respected() {
+        let mut r = Rng64::new(7);
+        for _ in 0..10_000 {
+            let x = r.uniform(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_unbiased_enough() {
+        let mut r = Rng64::new(9);
+        let mut counts = [0usize; 5];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[r.below(5) as usize] += 1;
+        }
+        for &c in &counts {
+            let expected = n / 5;
+            assert!(
+                (c as i64 - expected as i64).unsigned_abs() < (expected / 10) as u64,
+                "bucket count {c} too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = Rng64::new(1234);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let g = r.gaussian();
+            sum += g;
+            sum_sq += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn complex_gaussian_unit_power() {
+        let mut r = Rng64::new(5);
+        let n = 100_000;
+        let power: f64 = (0..n).map(|_| r.cn01().norm_sqr()).sum::<f64>() / n as f64;
+        assert!((power - 1.0).abs() < 0.03, "E|z|^2 = {power}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng64::new(11);
+        let mut v: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_indices_distinct() {
+        let mut r = Rng64::new(13);
+        for _ in 0..100 {
+            let picked = r.choose_indices(20, 5);
+            assert_eq!(picked.len(), 5);
+            let mut sorted = picked.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 5);
+            assert!(sorted.iter().all(|&i| i < 20));
+        }
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = Rng64::new(99);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        let same = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+}

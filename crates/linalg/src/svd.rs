@@ -1,0 +1,258 @@
+//! Singular value decomposition via one-sided Jacobi rotations.
+//!
+//! The SVD backs three things in this workspace: the 802.11n *eigenmode
+//! enforcing* baseline (transmit along the right singular vectors of the
+//! channel, paper §10d), numerical rank / null-space computation for the
+//! alignment solvers, and condition-number diagnostics. One-sided Jacobi is
+//! slow for large matrices but extremely robust and accurate for the tiny
+//! matrices used here.
+
+use crate::{C64, CMat, CVec};
+
+/// A computed decomposition `A = U·diag(σ)·Vᴴ` with `σ` sorted descending.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `m×n` (thin form, `m ≥ n` internally).
+    pub u: CMat,
+    /// Singular values, descending, length `n`.
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors, `n×n`.
+    pub v: CMat,
+}
+
+impl Svd {
+    /// Compute the SVD of any rectangular matrix.
+    pub fn compute(a: &CMat) -> Self {
+        let (m, n) = a.shape();
+        if m >= n {
+            Self::compute_tall(a)
+        } else {
+            // A = U Σ Vᴴ  ⇔  Aᴴ = V Σ Uᴴ; compute on the transpose and swap.
+            let t = Self::compute_tall(&a.hermitian());
+            Self {
+                u: t.v,
+                singular_values: t.singular_values,
+                v: t.u,
+            }
+        }
+    }
+
+    /// One-sided Jacobi on a tall (or square) matrix.
+    fn compute_tall(a: &CMat) -> Self {
+        let (m, n) = a.shape();
+        debug_assert!(m >= n);
+        let mut g = a.clone(); // columns will be driven orthogonal
+        let mut v = CMat::identity(n);
+        let tol = 1e-14;
+        let max_sweeps = 60;
+
+        for _sweep in 0..max_sweeps {
+            let mut rotated = false;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    // Hermitian 2×2 Gram block of columns p and q.
+                    let gp = g.col(p);
+                    let gq = g.col(q);
+                    let app = gp.norm_sqr();
+                    let aqq = gq.norm_sqr();
+                    let apq = gp.dot(&gq); // ⟨gp, gq⟩ (conjugated on gp)
+                    let off = apq.abs();
+                    // The absolute floor prevents 1/off from overflowing to
+                    // infinity when a column has converged to (near) zero.
+                    if off <= tol * (app * aqq).sqrt() || off < 1e-150 {
+                        continue;
+                    }
+                    rotated = true;
+                    // Phase-rotate column q so the cross term becomes real,
+                    // then apply a real Jacobi rotation.
+                    let phase = apq * (1.0 / off); // e^{iφ}
+                    let phase_conj = phase.conj();
+                    for i in 0..m {
+                        g[(i, q)] = g[(i, q)] * phase_conj;
+                    }
+                    for i in 0..n {
+                        v[(i, q)] = v[(i, q)] * phase_conj;
+                    }
+                    let gamma = off; // now real and positive
+                    let tau = (aqq - app) / (2.0 * gamma);
+                    let t = if tau >= 0.0 {
+                        1.0 / (tau + (1.0 + tau * tau).sqrt())
+                    } else {
+                        -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = c * t;
+                    // Columns p,q ← (c·p − s·q, s·p + c·q).
+                    for i in 0..m {
+                        let xp = g[(i, p)];
+                        let xq = g[(i, q)];
+                        g[(i, p)] = xp.scale(c) - xq.scale(s);
+                        g[(i, q)] = xp.scale(s) + xq.scale(c);
+                    }
+                    for i in 0..n {
+                        let xp = v[(i, p)];
+                        let xq = v[(i, q)];
+                        v[(i, p)] = xp.scale(c) - xq.scale(s);
+                        v[(i, q)] = xp.scale(s) + xq.scale(c);
+                    }
+                }
+            }
+            if !rotated {
+                break;
+            }
+        }
+
+        // Singular values are the column norms; U is the normalised columns.
+        let mut order: Vec<usize> = (0..n).collect();
+        let norms: Vec<f64> = (0..n).map(|j| g.col(j).norm()).collect();
+        order.sort_by(|&i, &j| norms[j].total_cmp(&norms[i]));
+
+        let mut u = CMat::zeros(m, n);
+        let mut vv = CMat::zeros(n, n);
+        let mut sigma = Vec::with_capacity(n);
+        let smax = order.first().map(|&j| norms[j]).unwrap_or(0.0);
+        let mut filled: Vec<CVec> = Vec::new();
+        for (slot, &j) in order.iter().enumerate() {
+            let s = norms[j];
+            sigma.push(s);
+            let ucol = if smax > 0.0 && s > smax * 1e-300 && s > 0.0 {
+                g.col(j).scale(1.0 / s)
+            } else {
+                // Zero singular value: complete U with any unit vector
+                // orthogonal to the columns already placed.
+                complete_orthonormal(&filled, m)
+            };
+            filled.push(ucol.clone());
+            u.set_col(slot, &ucol);
+            vv.set_col(slot, &v.col(j));
+        }
+        Svd {
+            u,
+            singular_values: sigma,
+            v: vv,
+        }
+    }
+
+    /// Reconstruct `U·diag(σ)·Vᴴ` (mainly for tests/diagnostics).
+    pub fn reconstruct(&self) -> CMat {
+        let n = self.singular_values.len();
+        let s = CMat::from_fn(n, n, |r, c| {
+            if r == c {
+                C64::real(self.singular_values[r])
+            } else {
+                C64::zero()
+            }
+        });
+        self.u.mul_mat(&s).mul_mat(&self.v.hermitian())
+    }
+}
+
+/// Any unit vector orthogonal to the given (orthonormal-ish) set; used to
+/// complete U for rank-deficient inputs.
+fn complete_orthonormal(existing: &[CVec], dim: usize) -> CVec {
+    for k in 0..dim {
+        let mut candidate = CVec::basis(dim, k);
+        for e in existing {
+            let c = e.dot(&candidate);
+            candidate.axpy(-c, e);
+        }
+        if candidate.norm() > 1e-6 {
+            return candidate.normalized();
+        }
+    }
+    // Mathematically unreachable while existing.len() < dim.
+    CVec::basis(dim, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::approx_eq;
+    use crate::Rng64;
+
+    #[test]
+    fn reconstruction_matches() {
+        let mut rng = Rng64::new(301);
+        for &(m, n) in &[(2, 2), (3, 3), (4, 2), (2, 4), (5, 5)] {
+            let a = CMat::random(m, n, &mut rng);
+            let svd = Svd::compute(&a);
+            let err = (&svd.reconstruct() - &a).frobenius_norm() / a.frobenius_norm();
+            assert!(err < 1e-10, "{m}x{n} relative error {err}");
+        }
+    }
+
+    #[test]
+    fn factors_are_orthonormal() {
+        let mut rng = Rng64::new(302);
+        let a = CMat::random(4, 3, &mut rng);
+        let svd = Svd::compute(&a);
+        let gu = svd.u.hermitian().mul_mat(&svd.u);
+        let gv = svd.v.hermitian().mul_mat(&svd.v);
+        assert!((&gu - &CMat::identity(3)).frobenius_norm() < 1e-9);
+        assert!((&gv - &CMat::identity(3)).frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn singular_values_sorted_and_nonnegative() {
+        let mut rng = Rng64::new(303);
+        let a = CMat::random(5, 4, &mut rng);
+        let svd = Svd::compute(&a);
+        for w in svd.singular_values.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(svd.singular_values.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn identity_has_unit_singular_values() {
+        let svd = Svd::compute(&CMat::identity(3));
+        for &s in &svd.singular_values {
+            assert!(approx_eq(s, 1.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn rank_deficient_has_zero_sigma() {
+        let c = CVec::from_real(&[1.0, 2.0, 2.0]);
+        let a = CMat::from_cols(&[c.clone(), c.scale(-0.5), c.scale(3.0)]);
+        let svd = Svd::compute(&a);
+        assert!(svd.singular_values[0] > 1.0);
+        assert!(svd.singular_values[1] < 1e-10);
+        assert!(svd.singular_values[2] < 1e-10);
+        // Even with zero σ, U stays orthonormal thanks to completion.
+        let gu = svd.u.hermitian().mul_mat(&svd.u);
+        assert!((&gu - &CMat::identity(3)).frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn frobenius_norm_equals_sigma_norm() {
+        let mut rng = Rng64::new(304);
+        let a = CMat::random(3, 3, &mut rng);
+        let svd = Svd::compute(&a);
+        let sf: f64 = svd.singular_values.iter().map(|s| s * s).sum::<f64>().sqrt();
+        assert!(approx_eq(sf, a.frobenius_norm(), 1e-10));
+    }
+
+    #[test]
+    fn singular_values_match_eigen_of_gram() {
+        // σ² are eigenvalues of AᴴA.
+        let mut rng = Rng64::new(305);
+        let a = CMat::random(3, 3, &mut rng);
+        let svd = Svd::compute(&a);
+        let gram = a.hermitian().mul_mat(&a);
+        for (j, &s) in svd.singular_values.iter().enumerate() {
+            let vj = svd.v.col(j);
+            let gv = gram.mul_vec(&vj);
+            let resid = (&gv - &vj.scale(s * s)).norm();
+            assert!(resid < 1e-8, "column {j}: residual {resid}");
+        }
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let svd = Svd::compute(&CMat::zeros(3, 2));
+        assert!(svd.singular_values.iter().all(|&s| s == 0.0));
+        let gu = svd.u.hermitian().mul_mat(&svd.u);
+        assert!((&gu - &CMat::identity(2)).frobenius_norm() < 1e-9);
+    }
+}

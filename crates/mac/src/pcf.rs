@@ -1,0 +1,598 @@
+//! The extended-PCF protocol simulation (paper §7.1, Fig. 9).
+//!
+//! Each contention-free period (CFP):
+//!
+//! 1. the leader broadcasts a **Beacon** carrying the *previous* CFP's
+//!    uplink ACK map (uplink acks are deferred because APs decode
+//!    successively and cannot ack synchronously);
+//! 2. the leader steps through **downlink transmission groups**: a DATA+Poll
+//!    broadcast (client ids + encoding/decoding vectors) followed by the
+//!    concurrent data and synchronous client acks; a missing ack triggers an
+//!    immediate retransmission request to the leader;
+//! 3. then **uplink groups**: a Grant broadcast, concurrent Data+Req frames,
+//!    and Ethernet forwarding of every decoded packet (which is also what
+//!    enables cancellation at later APs);
+//! 4. a **CF-End** closes the CFP; the constant-length contention period
+//!    follows (association and legacy traffic — outside this simulation's
+//!    scoring, but accounted as slots).
+//!
+//! The PHY is pluggable via [`PhyOutcome`], so the protocol logic can be
+//! tested deterministically and driven by the matrix-level IAC decoder in
+//! `iac-sim`.
+
+use crate::concurrency::GroupPolicy;
+use crate::ethernet::{Hub, WirePacket};
+use crate::frames::{Beacon, CfEnd, DataPoll, Grant, MacFrame, PollEntry, VectorQ};
+use crate::queue::{QueuedPacket, TrafficQueue};
+use iac_linalg::{CVec, Rng64};
+use std::collections::HashMap;
+
+/// Result of one packet inside a transmission group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketResult {
+    /// Served client.
+    pub client: u16,
+    /// Sequence number.
+    pub seq: u16,
+    /// Post-processing SINR the PHY measured.
+    pub sinr: f64,
+    /// Whether the packet decoded (CRC passed).
+    pub ok: bool,
+    /// AP that decoded it (uplink) or transmitted it (downlink).
+    pub ap: u16,
+}
+
+/// The pluggable PHY: given the clients of a transmission group, report how
+/// each packet fared.
+pub trait PhyOutcome {
+    /// A downlink group (one packet per client).
+    fn downlink_group(&mut self, clients: &[u16], rng: &mut Rng64) -> Vec<PacketResult>;
+    /// An uplink group (one packet per client; the PHY may deliver more
+    /// packets than clients if a client uploads two — it reports one result
+    /// per *packet*).
+    fn uplink_group(&mut self, clients: &[u16], rng: &mut Rng64) -> Vec<PacketResult>;
+}
+
+/// Static protocol parameters.
+#[derive(Debug, Clone)]
+pub struct PcfConfig {
+    /// Cooperating APs (leader is AP 0).
+    pub n_aps: u16,
+    /// Transmission-group size in clients (3 for the paper's testbed).
+    pub group_size: usize,
+    /// Upper bound on groups per CFP per direction (bounds CFP duration).
+    pub max_groups_per_cfp: usize,
+    /// Payload bytes per data packet.
+    pub payload_bytes: usize,
+    /// Retransmission attempts before a packet is dropped.
+    pub retx_limit: u8,
+    /// Contention-period length in slots (constant, §7.1a).
+    pub cp_slots: u16,
+}
+
+impl Default for PcfConfig {
+    fn default() -> Self {
+        Self {
+            n_aps: 3,
+            group_size: 3,
+            max_groups_per_cfp: 16,
+            payload_bytes: 1440,
+            retx_limit: 4,
+            cp_slots: 10,
+        }
+    }
+}
+
+/// Accumulated statistics.
+#[derive(Debug, Clone, Default)]
+pub struct PcfStats {
+    /// Successfully delivered downlink packets.
+    pub downlink_delivered: u64,
+    /// Successfully delivered (and acked) uplink packets.
+    pub uplink_delivered: u64,
+    /// Packets dropped after exhausting retransmissions.
+    pub dropped: u64,
+    /// Control bytes broadcast on the air (beacons, polls, grants, CF-End).
+    pub control_bytes: u64,
+    /// Data bytes carried on the air.
+    pub data_bytes: u64,
+    /// Per-client delivered packet counts.
+    pub per_client_delivered: HashMap<u16, u64>,
+    /// Sum of achievable rate (Eq. 9 terms) per client, for rate accounting.
+    pub per_client_rate_sum: HashMap<u16, f64>,
+}
+
+/// One CFP's report.
+#[derive(Debug, Clone)]
+pub struct CfpReport {
+    /// CFP sequence number.
+    pub cfp_id: u16,
+    /// Downlink results in group order.
+    pub downlink: Vec<PacketResult>,
+    /// Uplink results in group order.
+    pub uplink: Vec<PacketResult>,
+    /// ACK map that went out in this CFP's beacon (from the previous CFP).
+    pub beacon_acks: Vec<(u16, u16)>,
+    /// Groups served this CFP (both directions).
+    pub groups: usize,
+}
+
+/// The leader-AP protocol simulation.
+pub struct PcfSim<P: PhyOutcome> {
+    /// Protocol parameters.
+    pub config: PcfConfig,
+    phy: P,
+    downlink_policy: Box<dyn GroupPolicy>,
+    uplink_policy: Box<dyn GroupPolicy>,
+    /// Downlink traffic pending at the leader.
+    pub downlink_queue: TrafficQueue,
+    /// Uplink requests learned from Data+Req frames.
+    pub uplink_queue: TrafficQueue,
+    hub: Hub,
+    /// Uplink packets decoded this CFP, acked in the next beacon.
+    pending_acks: Vec<(u16, u16)>,
+    /// Uplink packets sent but not yet acked: client re-requests on silence.
+    awaiting_ack: HashMap<(u16, u16), QueuedPacket>,
+    retx_count: HashMap<(u16, u16), u8>,
+    cfp_id: u16,
+    /// Running statistics.
+    pub stats: PcfStats,
+    /// Group rate scorer (leader-side prediction); defaults to zero (used by
+    /// Fifo which ignores scores). `iac-sim` installs the real estimator.
+    pub scorer: Box<dyn FnMut(&[u16], bool) -> f64>,
+}
+
+impl<P: PhyOutcome> PcfSim<P> {
+    /// Build a simulation.
+    pub fn new(
+        config: PcfConfig,
+        phy: P,
+        downlink_policy: Box<dyn GroupPolicy>,
+        uplink_policy: Box<dyn GroupPolicy>,
+    ) -> Self {
+        let hub = Hub::new(config.n_aps as usize);
+        Self {
+            config,
+            phy,
+            downlink_policy,
+            uplink_policy,
+            downlink_queue: TrafficQueue::new(),
+            uplink_queue: TrafficQueue::new(),
+            hub,
+            pending_acks: Vec::new(),
+            awaiting_ack: HashMap::new(),
+            retx_count: HashMap::new(),
+            cfp_id: 0,
+            stats: PcfStats::default(),
+            scorer: Box::new(|_, _| 0.0),
+        }
+    }
+
+    /// Offer downlink traffic (the wired network delivered a packet for a
+    /// client).
+    pub fn offer_downlink(&mut self, client: u16, seq: u16) {
+        self.downlink_queue.push(QueuedPacket {
+            client,
+            seq,
+            bytes: self.config.payload_bytes,
+        });
+    }
+
+    /// Offer uplink traffic (a client signalled `more_traffic` in Data+Req,
+    /// or requested during the contention period).
+    pub fn offer_uplink(&mut self, client: u16, seq: u16) {
+        self.uplink_queue.push(QueuedPacket {
+            client,
+            seq,
+            bytes: self.config.payload_bytes,
+        });
+    }
+
+    /// Access the backplane statistics.
+    pub fn hub(&self) -> &Hub {
+        &self.hub
+    }
+
+    fn control_frame(&mut self, frame: &MacFrame) {
+        self.stats.control_bytes += frame.encoded_len() as u64;
+    }
+
+    /// Placeholder vectors for control-frame sizing: the protocol layer does
+    /// not compute alignments (the leader's solver does, in `iac-sim`), but
+    /// the frames must carry correctly-sized fields for byte accounting.
+    fn placeholder_entry(client: u16) -> PollEntry {
+        let v = VectorQ::from_cvec(&CVec::basis(2, 0));
+        PollEntry {
+            client,
+            encoding: v.clone(),
+            decoding: v,
+        }
+    }
+
+    /// Run one full CFP; returns its report.
+    pub fn run_cfp(&mut self, rng: &mut Rng64) -> CfpReport {
+        self.cfp_id = self.cfp_id.wrapping_add(1);
+        let mut groups = 0usize;
+
+        // 1. Beacon with the deferred uplink ACK map.
+        let beacon_acks: Vec<(u16, u16)> = std::mem::take(&mut self.pending_acks);
+        let beacon = MacFrame::Beacon(Beacon {
+            cfp_id: self.cfp_id,
+            duration_slots: 0, // filled conceptually; duration varies (§7.1a)
+            ack_map: beacon_acks.clone(),
+        });
+        self.control_frame(&beacon);
+        // Clients process the ACK map: confirmed packets leave the awaiting
+        // set; silent ones are re-requested (or dropped past the limit).
+        for &(client, seq) in &beacon_acks {
+            if self.awaiting_ack.remove(&(client, seq)).is_some() {
+                self.stats.uplink_delivered += 1;
+                *self.stats.per_client_delivered.entry(client).or_insert(0) += 1;
+            }
+        }
+        let unacked: Vec<QueuedPacket> = self.awaiting_ack.drain().map(|(_, p)| p).collect();
+        for p in unacked {
+            let tries = self.retx_count.entry((p.client, p.seq)).or_insert(0);
+            *tries += 1;
+            if *tries > self.config.retx_limit {
+                self.stats.dropped += 1;
+            } else {
+                // "Asks for a new transmission slot next time it is polled."
+                self.uplink_queue.push_front(p);
+            }
+        }
+
+        // 2. Downlink groups.
+        let mut downlink_results = Vec::new();
+        for _ in 0..self.config.max_groups_per_cfp {
+            let Some(head_packet) = self.downlink_queue.head() else {
+                break;
+            };
+            let candidates: Vec<u16> = self
+                .downlink_queue
+                .clients()
+                .into_iter()
+                .filter(|&c| c != head_packet.client)
+                .collect();
+            let scorer = &mut self.scorer;
+            let mut score = |group: &[u16]| (scorer)(group, true);
+            let companions = self.downlink_policy.select(
+                head_packet.client,
+                &candidates,
+                self.config.group_size - 1,
+                &mut score,
+                rng,
+            );
+            let mut group_clients = vec![head_packet.client];
+            group_clients.extend(companions);
+            // Pop one packet per grouped client.
+            let mut packets = Vec::new();
+            for &c in &group_clients {
+                if let Some(p) = self.downlink_queue.pop_for_client(c) {
+                    packets.push(p);
+                }
+            }
+            groups += 1;
+            // DATA+Poll broadcast.
+            let poll = MacFrame::DataPoll(DataPoll {
+                fid: self.cfp_id.wrapping_mul(64).wrapping_add(groups as u16),
+                n_aps: self.config.n_aps as u8,
+                max_len: self.config.payload_bytes as u16,
+                entries: group_clients
+                    .iter()
+                    .map(|&c| Self::placeholder_entry(c))
+                    .collect(),
+            });
+            self.control_frame(&poll);
+            // Concurrent data + synchronous client acks.
+            let results = self.phy.downlink_group(&group_clients, rng);
+            for r in &results {
+                self.stats.data_bytes += self.config.payload_bytes as u64;
+                if r.ok {
+                    self.stats.downlink_delivered += 1;
+                    *self
+                        .stats
+                        .per_client_delivered
+                        .entry(r.client)
+                        .or_insert(0) += 1;
+                    *self.stats.per_client_rate_sum.entry(r.client).or_insert(0.0) +=
+                        (1.0 + r.sinr).log2();
+                } else {
+                    // Missing client ack → the serving AP asks the leader
+                    // for a retransmission (§7.1a).
+                    if let Some(p) = packets.iter().find(|p| p.client == r.client) {
+                        let tries = self.retx_count.entry((p.client, p.seq)).or_insert(0);
+                        *tries += 1;
+                        if *tries > self.config.retx_limit {
+                            self.stats.dropped += 1;
+                        } else {
+                            self.downlink_queue.push_front(*p);
+                        }
+                    }
+                }
+            }
+            downlink_results.extend(results);
+        }
+
+        // 3. Uplink groups.
+        let mut uplink_results = Vec::new();
+        for _ in 0..self.config.max_groups_per_cfp {
+            let Some(head_packet) = self.uplink_queue.head() else {
+                break;
+            };
+            let candidates: Vec<u16> = self
+                .uplink_queue
+                .clients()
+                .into_iter()
+                .filter(|&c| c != head_packet.client)
+                .collect();
+            let scorer = &mut self.scorer;
+            let mut score = |group: &[u16]| (scorer)(group, false);
+            let companions = self.uplink_policy.select(
+                head_packet.client,
+                &candidates,
+                self.config.group_size - 1,
+                &mut score,
+                rng,
+            );
+            let mut group_clients = vec![head_packet.client];
+            group_clients.extend(companions);
+            let mut packets = Vec::new();
+            for &c in &group_clients {
+                if let Some(p) = self.uplink_queue.pop_for_client(c) {
+                    packets.push(p);
+                }
+            }
+            groups += 1;
+            let grant = MacFrame::Grant(Grant {
+                fid: self.cfp_id.wrapping_mul(64).wrapping_add(32 + groups as u16),
+                n_aps: self.config.n_aps as u8,
+                entries: group_clients
+                    .iter()
+                    .map(|&c| Self::placeholder_entry(c))
+                    .collect(),
+            });
+            self.control_frame(&grant);
+            let results = self.phy.uplink_group(&group_clients, rng);
+            for r in &results {
+                self.stats.data_bytes += self.config.payload_bytes as u64;
+                let packet = packets
+                    .iter()
+                    .find(|p| p.client == r.client)
+                    .copied()
+                    .unwrap_or(QueuedPacket {
+                        client: r.client,
+                        seq: r.seq,
+                        bytes: self.config.payload_bytes,
+                    });
+                if r.ok {
+                    // Decoded at AP r.ap: forwarded once over the hub (both
+                    // for cancellation at later APs and toward the wired
+                    // destination), acked in the NEXT beacon.
+                    self.hub.broadcast(WirePacket {
+                        from_ap: r.ap,
+                        client: r.client,
+                        seq: packet.seq,
+                        payload_bytes: self.config.payload_bytes,
+                        annotations: vec![],
+                    });
+                    self.pending_acks.push((r.client, packet.seq));
+                    *self.stats.per_client_rate_sum.entry(r.client).or_insert(0.0) +=
+                        (1.0 + r.sinr).log2();
+                }
+                // Ok or not, the client waits for the beacon to learn.
+                self.awaiting_ack.insert((r.client, packet.seq), packet);
+            }
+            uplink_results.extend(results);
+        }
+
+        // 4. CF-End; the constant contention period follows.
+        let cf_end = MacFrame::CfEnd(CfEnd { cfp_id: self.cfp_id });
+        self.control_frame(&cf_end);
+
+        CfpReport {
+            cfp_id: self.cfp_id,
+            downlink: downlink_results,
+            uplink: uplink_results,
+            beacon_acks,
+            groups,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concurrency::FifoPolicy;
+
+    /// A deterministic PHY stub: fails packets whose (client, call index)
+    /// matches a configured set; everything else succeeds at a fixed SINR.
+    struct StubPhy {
+        calls: usize,
+        fail: Vec<(u16, usize)>,
+    }
+
+    impl StubPhy {
+        fn all_ok() -> Self {
+            Self {
+                calls: 0,
+                fail: vec![],
+            }
+        }
+        fn failing(fail: Vec<(u16, usize)>) -> Self {
+            Self { calls: 0, fail }
+        }
+        fn results(&mut self, clients: &[u16]) -> Vec<PacketResult> {
+            let call = self.calls;
+            self.calls += 1;
+            clients
+                .iter()
+                .map(|&c| PacketResult {
+                    client: c,
+                    seq: 0,
+                    sinr: 15.0,
+                    ok: !self.fail.contains(&(c, call)),
+                    ap: 0,
+                })
+                .collect()
+        }
+    }
+
+    impl PhyOutcome for StubPhy {
+        fn downlink_group(&mut self, clients: &[u16], _rng: &mut Rng64) -> Vec<PacketResult> {
+            self.results(clients)
+        }
+        fn uplink_group(&mut self, clients: &[u16], _rng: &mut Rng64) -> Vec<PacketResult> {
+            self.results(clients)
+        }
+    }
+
+    fn sim(phy: StubPhy) -> PcfSim<StubPhy> {
+        PcfSim::new(
+            PcfConfig::default(),
+            phy,
+            Box::new(FifoPolicy),
+            Box::new(FifoPolicy),
+        )
+    }
+
+    #[test]
+    fn downlink_delivery_and_grouping() {
+        let mut s = sim(StubPhy::all_ok());
+        let mut rng = Rng64::new(1);
+        for c in 0..6u16 {
+            s.offer_downlink(c, 100 + c);
+        }
+        let report = s.run_cfp(&mut rng);
+        // 6 clients in groups of 3 → 2 downlink groups, all delivered.
+        assert_eq!(report.downlink.len(), 6);
+        assert_eq!(s.stats.downlink_delivered, 6);
+        assert!(s.downlink_queue.is_empty());
+    }
+
+    #[test]
+    fn uplink_acks_are_deferred_one_cfp() {
+        let mut s = sim(StubPhy::all_ok());
+        let mut rng = Rng64::new(2);
+        s.offer_uplink(1, 7);
+        s.offer_uplink(2, 8);
+        let first = s.run_cfp(&mut rng);
+        // Decoded, forwarded, but NOT yet acknowledged.
+        assert!(first.beacon_acks.is_empty());
+        assert_eq!(s.stats.uplink_delivered, 0);
+        assert_eq!(s.hub().packets_broadcast(), 2);
+        // The next beacon carries the ACK map; only then counts delivery.
+        let second = s.run_cfp(&mut rng);
+        let mut acks = second.beacon_acks.clone();
+        acks.sort_unstable();
+        assert_eq!(acks, vec![(1, 7), (2, 8)]);
+        assert_eq!(s.stats.uplink_delivered, 2);
+    }
+
+    #[test]
+    fn lost_uplink_packet_is_retransmitted() {
+        // Client 5's first uplink transmission fails (call index 0).
+        let mut s = sim(StubPhy::failing(vec![(5, 0)]));
+        let mut rng = Rng64::new(3);
+        s.offer_uplink(5, 50);
+        let r1 = s.run_cfp(&mut rng);
+        assert!(!r1.uplink[0].ok);
+        // Next CFP: no ack appears, the client re-requests, transmission
+        // succeeds (only call 0 fails).
+        let _r2 = s.run_cfp(&mut rng);
+        let r3 = s.run_cfp(&mut rng);
+        assert!(
+            r3.beacon_acks.contains(&(5, 50)),
+            "retransmission not acked: {:?}",
+            r3.beacon_acks
+        );
+        assert_eq!(s.stats.uplink_delivered, 1);
+        assert_eq!(s.stats.dropped, 0);
+    }
+
+    #[test]
+    fn lost_downlink_packet_requeued_immediately() {
+        let mut s = sim(StubPhy::failing(vec![(5, 0)]));
+        let mut rng = Rng64::new(4);
+        s.offer_downlink(5, 50);
+        let r1 = s.run_cfp(&mut rng);
+        // First attempt failed, but the packet was requeued and served again
+        // within the same CFP (max_groups allows it).
+        assert!(!r1.downlink[0].ok);
+        assert!(r1.downlink.len() >= 2, "no retransmission happened");
+        assert_eq!(s.stats.downlink_delivered, 1);
+    }
+
+    #[test]
+    fn packet_dropped_after_retx_limit() {
+        // Client 5 fails every time.
+        let fails: Vec<(u16, usize)> = (0..64).map(|k| (5u16, k)).collect();
+        let mut s = sim(StubPhy::failing(fails));
+        s.config.retx_limit = 2;
+        let mut rng = Rng64::new(5);
+        s.offer_downlink(5, 50);
+        let _ = s.run_cfp(&mut rng);
+        assert_eq!(s.stats.dropped, 1);
+        assert_eq!(s.stats.downlink_delivered, 0);
+        assert!(s.downlink_queue.is_empty());
+    }
+
+    #[test]
+    fn cfp_shrinks_when_idle() {
+        // "When congestion is low and queues are empty, the CFP naturally
+        // shrinks": an idle CFP serves zero groups.
+        let mut s = sim(StubPhy::all_ok());
+        let mut rng = Rng64::new(6);
+        let report = s.run_cfp(&mut rng);
+        assert_eq!(report.groups, 0);
+        assert!(report.downlink.is_empty() && report.uplink.is_empty());
+    }
+
+    #[test]
+    fn control_overhead_is_small() {
+        let mut s = sim(StubPhy::all_ok());
+        let mut rng = Rng64::new(7);
+        for c in 0..9u16 {
+            s.offer_downlink(c, c);
+            s.offer_uplink(c, 1000 + c);
+        }
+        let _ = s.run_cfp(&mut rng);
+        let overhead = s.stats.control_bytes as f64 / s.stats.data_bytes as f64;
+        assert!(
+            overhead < 0.05,
+            "control overhead {overhead} exceeds the §7e budget"
+        );
+        assert!(overhead > 0.0);
+    }
+
+    #[test]
+    fn wire_broadcasts_match_decoded_uplink_packets() {
+        let mut s = sim(StubPhy::failing(vec![(2, 0)]));
+        let mut rng = Rng64::new(8);
+        for c in 0..3u16 {
+            s.offer_uplink(c, c);
+        }
+        let _ = s.run_cfp(&mut rng);
+        // 3 packets sent, 1 failed → 2 crossed the wire, each exactly once.
+        assert_eq!(s.hub().packets_broadcast(), 2);
+    }
+
+    #[test]
+    fn groups_never_mix_directions_or_duplicate_clients() {
+        let mut s = sim(StubPhy::all_ok());
+        let mut rng = Rng64::new(9);
+        for c in 0..5u16 {
+            s.offer_downlink(c, c);
+            s.offer_uplink(c, 100 + c);
+        }
+        let report = s.run_cfp(&mut rng);
+        for results in [&report.downlink, &report.uplink] {
+            for chunk in results.chunks(3) {
+                let mut ids: Vec<u16> = chunk.iter().map(|r| r.client).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                assert_eq!(ids.len(), chunk.len(), "duplicate client in group");
+            }
+        }
+    }
+}

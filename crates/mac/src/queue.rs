@@ -1,0 +1,153 @@
+//! Per-direction traffic queues.
+//!
+//! §7.2: "The leader AP maintains a FIFO queue for traffic pending for the
+//! downlink and a similar queue for uplink requests learned from DATA+Poll
+//! frames."
+
+use std::collections::VecDeque;
+
+/// One pending packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedPacket {
+    /// Client to serve (destination on downlink, source on uplink).
+    pub client: u16,
+    /// Sequence number.
+    pub seq: u16,
+    /// Payload size in bytes.
+    pub bytes: usize,
+}
+
+/// A FIFO of pending packets with client-indexed helpers.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficQueue {
+    q: VecDeque<QueuedPacket>,
+}
+
+impl TrafficQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a packet.
+    pub fn push(&mut self, p: QueuedPacket) {
+        self.q.push_back(p);
+    }
+
+    /// Put a packet back at the *front* (retransmission priority: the lost
+    /// packet re-enters as the next head so the client is not starved).
+    pub fn push_front(&mut self, p: QueuedPacket) {
+        self.q.push_front(p);
+    }
+
+    /// The head packet, if any.
+    pub fn head(&self) -> Option<QueuedPacket> {
+        self.q.front().copied()
+    }
+
+    /// Pop the head.
+    pub fn pop(&mut self) -> Option<QueuedPacket> {
+        self.q.pop_front()
+    }
+
+    /// Remove and return the first queued packet of `client`.
+    pub fn pop_for_client(&mut self, client: u16) -> Option<QueuedPacket> {
+        let pos = self.q.iter().position(|p| p.client == client)?;
+        self.q.remove(pos)
+    }
+
+    /// Distinct clients with pending traffic, in queue order.
+    pub fn clients(&self) -> Vec<u16> {
+        let mut seen = Vec::new();
+        for p in &self.q {
+            if !seen.contains(&p.client) {
+                seen.push(p.client);
+            }
+        }
+        seen
+    }
+
+    /// Number of queued packets.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// True when no traffic is pending — the condition that naturally
+    /// shrinks the CFP (§7.1a).
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Total queued packets for one client.
+    pub fn count_for(&self, client: u16) -> usize {
+        self.q.iter().filter(|p| p.client == client).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(client: u16, seq: u16) -> QueuedPacket {
+        QueuedPacket {
+            client,
+            seq,
+            bytes: 1500,
+        }
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = TrafficQueue::new();
+        q.push(p(1, 1));
+        q.push(p(2, 1));
+        q.push(p(1, 2));
+        assert_eq!(q.pop().unwrap().client, 1);
+        assert_eq!(q.pop().unwrap().client, 2);
+        assert_eq!(q.pop().unwrap(), p(1, 2));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn retransmission_goes_to_front() {
+        let mut q = TrafficQueue::new();
+        q.push(p(1, 1));
+        q.push(p(2, 1));
+        q.push_front(p(3, 9));
+        assert_eq!(q.head().unwrap().client, 3);
+    }
+
+    #[test]
+    fn clients_lists_in_order_without_duplicates() {
+        let mut q = TrafficQueue::new();
+        q.push(p(5, 1));
+        q.push(p(2, 1));
+        q.push(p(5, 2));
+        q.push(p(9, 1));
+        assert_eq!(q.clients(), vec![5, 2, 9]);
+    }
+
+    #[test]
+    fn pop_for_client_takes_earliest() {
+        let mut q = TrafficQueue::new();
+        q.push(p(1, 1));
+        q.push(p(2, 7));
+        q.push(p(2, 8));
+        let got = q.pop_for_client(2).unwrap();
+        assert_eq!(got.seq, 7);
+        assert_eq!(q.len(), 2);
+        assert!(q.pop_for_client(42).is_none());
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let mut q = TrafficQueue::new();
+        assert!(q.is_empty());
+        q.push(p(1, 1));
+        q.push(p(1, 2));
+        q.push(p(2, 1));
+        assert_eq!(q.count_for(1), 2);
+        assert_eq!(q.count_for(3), 0);
+        assert_eq!(q.len(), 3);
+    }
+}

@@ -1,0 +1,172 @@
+//! Radix-2 decimation-in-time FFT.
+//!
+//! Self-contained (no external DSP crates) and sized for OFDM symbol lengths
+//! (64–1024). Used by [`crate::ofdm`] to test the paper's §6c conjecture —
+//! per-subcarrier alignment on frequency-selective channels.
+
+use iac_linalg::C64;
+
+/// In-place forward FFT. Length must be a power of two.
+pub fn fft(x: &mut [C64]) {
+    transform(x, false);
+}
+
+/// In-place inverse FFT (normalised by 1/N). Length must be a power of two.
+pub fn ifft(x: &mut [C64]) {
+    transform(x, true);
+    let n = x.len() as f64;
+    for v in x.iter_mut() {
+        *v = v.scale(1.0 / n);
+    }
+}
+
+fn transform(x: &mut [C64], inverse: bool) {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            x.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = C64::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = C64::one();
+            for k in 0..len / 2 {
+                let u = x[start + k];
+                let t = x[start + k + len / 2] * w;
+                x[start + k] = u + t;
+                x[start + k + len / 2] = u - t;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Convolve a sample stream with a (short) channel impulse response — the
+/// frequency-selective "multi-tap" channel of §6c.
+pub fn convolve(signal: &[C64], taps: &[C64]) -> Vec<C64> {
+    if signal.is_empty() || taps.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![C64::zero(); signal.len() + taps.len() - 1];
+    for (i, &s) in signal.iter().enumerate() {
+        for (j, &t) in taps.iter().enumerate() {
+            out[i + j] = s.mul_add(t, out[i + j]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iac_linalg::Rng64;
+
+    #[test]
+    fn roundtrip_identity() {
+        let mut rng = Rng64::new(1);
+        for &n in &[2usize, 8, 64, 256] {
+            let orig: Vec<C64> = (0..n).map(|_| rng.cn01()).collect();
+            let mut x = orig.clone();
+            fft(&mut x);
+            ifft(&mut x);
+            for (a, b) in x.iter().zip(&orig) {
+                assert!((*a - *b).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![C64::zero(); 8];
+        x[0] = C64::one();
+        fft(&mut x);
+        for v in &x {
+            assert!((*v - C64::one()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_hits_single_bin() {
+        let n = 64;
+        let k = 5;
+        let mut x: Vec<C64> = (0..n)
+            .map(|t| C64::cis(std::f64::consts::TAU * k as f64 * t as f64 / n as f64))
+            .collect();
+        fft(&mut x);
+        for (bin, v) in x.iter().enumerate() {
+            if bin == k {
+                assert!((v.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(v.abs() < 1e-9, "leakage in bin {bin}: {}", v.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let mut rng = Rng64::new(2);
+        let orig: Vec<C64> = (0..128).map(|_| rng.cn01()).collect();
+        let e_time: f64 = orig.iter().map(|z| z.norm_sqr()).sum();
+        let mut x = orig;
+        fft(&mut x);
+        let e_freq: f64 = x.iter().map(|z| z.norm_sqr()).sum::<f64>() / 128.0;
+        assert!((e_time - e_freq).abs() < 1e-9 * e_time);
+    }
+
+    #[test]
+    fn linearity() {
+        let mut rng = Rng64::new(3);
+        let a: Vec<C64> = (0..32).map(|_| rng.cn01()).collect();
+        let b: Vec<C64> = (0..32).map(|_| rng.cn01()).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fab: Vec<C64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        fft(&mut fa);
+        fft(&mut fb);
+        fft(&mut fab);
+        for i in 0..32 {
+            assert!((fab[i] - (fa[i] + fb[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn convolution_matches_fft_multiplication() {
+        // Circular convolution theorem check (pad to avoid wraparound).
+        let mut rng = Rng64::new(4);
+        let sig: Vec<C64> = (0..48).map(|_| rng.cn01()).collect();
+        let taps: Vec<C64> = (0..5).map(|_| rng.cn01()).collect();
+        let direct = convolve(&sig, &taps);
+        let n = 64;
+        let mut a = sig.clone();
+        a.resize(n, C64::zero());
+        let mut b = taps.clone();
+        b.resize(n, C64::zero());
+        fft(&mut a);
+        fft(&mut b);
+        let mut prod: Vec<C64> = a.iter().zip(&b).map(|(&x, &y)| x * y).collect();
+        ifft(&mut prod);
+        for i in 0..direct.len() {
+            assert!((prod[i] - direct[i]).abs() < 1e-8, "index {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut x = vec![C64::zero(); 12];
+        fft(&mut x);
+    }
+}

@@ -1,0 +1,277 @@
+//! The wireless medium: one collision domain, sample by sample.
+//!
+//! Every concurrent transmission passes through its own flat-fading MIMO
+//! channel and its own carrier frequency offset (each radio's oscillator
+//! differs), then everything superposes at each receive antenna along with
+//! thermal noise. This is the exact signal model of §4 and §6:
+//!
+//! ```text
+//! y_a(t) = Σ_tx Σ_b H_tx[a][b]·x_tx,b(t)·e^{j2πΔf_tx·t/fs} + n_a(t)
+//! ```
+
+use iac_channel::{Awgn, Cfo};
+use iac_linalg::{C64, CMat, Rng64};
+
+/// One transmitter's contribution to the air, as seen by one receiver.
+#[derive(Debug)]
+pub struct AirTransmission<'a> {
+    /// Per-antenna sample streams (all the same length).
+    pub streams: &'a [Vec<C64>],
+    /// Flat-fading channel from this transmitter to the receiver
+    /// (`rx_antennas × tx_antennas`).
+    pub channel: &'a CMat,
+    /// This transmitter↔receiver pair's carrier frequency offset.
+    pub cfo: Cfo,
+    /// Sample offset at which this transmission starts on the air.
+    pub start: usize,
+}
+
+/// The medium itself: a mixer for concurrent transmissions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Medium;
+
+impl Medium {
+    /// Mix all transmissions at a receiver with `rx_antennas` antennas,
+    /// producing `n_samples` received samples per antenna.
+    pub fn mix(
+        transmissions: &[AirTransmission<'_>],
+        rx_antennas: usize,
+        n_samples: usize,
+        noise: Awgn,
+        rng: &mut Rng64,
+    ) -> Vec<Vec<C64>> {
+        let mut out = vec![vec![C64::zero(); n_samples]; rx_antennas];
+        for tx in transmissions {
+            let tx_antennas = tx.streams.len();
+            assert_eq!(
+                tx.channel.shape(),
+                (rx_antennas, tx_antennas),
+                "channel shape does not match antenna counts"
+            );
+            let len = tx.streams.first().map(|s| s.len()).unwrap_or(0);
+            assert!(
+                tx.streams.iter().all(|s| s.len() == len),
+                "ragged transmit streams"
+            );
+            // Incremental CFO phasor (one rotation per sample).
+            let step = C64::cis(
+                std::f64::consts::TAU * tx.cfo.delta_f_hz / tx.cfo.sample_rate_hz,
+            );
+            let mut rot = tx.cfo.phasor_at(tx.start);
+            for t in 0..len {
+                let air_t = tx.start + t;
+                if air_t >= n_samples {
+                    break;
+                }
+                for a in 0..rx_antennas {
+                    let mut acc = C64::zero();
+                    for b in 0..tx_antennas {
+                        acc = tx.channel[(a, b)].mul_add(tx.streams[b][t], acc);
+                    }
+                    out[a][air_t] += acc * rot;
+                }
+                rot *= step;
+            }
+        }
+        for stream in out.iter_mut() {
+            noise.add_to(stream, rng);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iac_linalg::CVec;
+
+    fn no_noise() -> Awgn {
+        Awgn::new(0.0)
+    }
+
+    #[test]
+    fn single_tx_applies_channel() {
+        let mut rng = Rng64::new(1);
+        let h = CMat::random(2, 2, &mut rng);
+        let streams = vec![vec![C64::one()], vec![C64::real(2.0)]];
+        let cfo = Cfo::none(1e6);
+        let rx = Medium::mix(
+            &[AirTransmission {
+                streams: &streams,
+                channel: &h,
+                cfo,
+                start: 0,
+            }],
+            2,
+            1,
+            no_noise(),
+            &mut rng,
+        );
+        let x = CVec::new(vec![C64::one(), C64::real(2.0)]);
+        let expect = h.mul_vec(&x);
+        for a in 0..2 {
+            assert!((rx[a][0] - expect[a]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn superposition_of_two_transmitters() {
+        let mut rng = Rng64::new(2);
+        let h1 = CMat::random(2, 2, &mut rng);
+        let h2 = CMat::random(2, 2, &mut rng);
+        let s1 = vec![vec![C64::one(); 4], vec![C64::zero(); 4]];
+        let s2 = vec![vec![C64::zero(); 4], vec![C64::real(-1.0); 4]];
+        let cfo = Cfo::none(1e6);
+        let both = Medium::mix(
+            &[
+                AirTransmission {
+                    streams: &s1,
+                    channel: &h1,
+                    cfo,
+                    start: 0,
+                },
+                AirTransmission {
+                    streams: &s2,
+                    channel: &h2,
+                    cfo,
+                    start: 0,
+                },
+            ],
+            2,
+            4,
+            no_noise(),
+            &mut rng,
+        );
+        let only1 = Medium::mix(
+            &[AirTransmission {
+                streams: &s1,
+                channel: &h1,
+                cfo,
+                start: 0,
+            }],
+            2,
+            4,
+            no_noise(),
+            &mut rng,
+        );
+        let only2 = Medium::mix(
+            &[AirTransmission {
+                streams: &s2,
+                channel: &h2,
+                cfo,
+                start: 0,
+            }],
+            2,
+            4,
+            no_noise(),
+            &mut rng,
+        );
+        for a in 0..2 {
+            for t in 0..4 {
+                let sum = only1[a][t] + only2[a][t];
+                assert!((both[a][t] - sum).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cfo_rotates_received_signal() {
+        let mut rng = Rng64::new(3);
+        let h = CMat::identity(1);
+        let streams = vec![vec![C64::one(); 100]];
+        let cfo = Cfo::new(1000.0, 100_000.0); // fast rotation
+        let rx = Medium::mix(
+            &[AirTransmission {
+                streams: &streams,
+                channel: &h,
+                cfo,
+                start: 0,
+            }],
+            1,
+            100,
+            no_noise(),
+            &mut rng,
+        );
+        // Sample t should equal e^{j2πΔf·t/fs}.
+        for t in [0usize, 25, 50, 99] {
+            let expect = cfo.phasor_at(t);
+            assert!((rx[0][t] - expect).abs() < 1e-9, "t={t}");
+        }
+    }
+
+    #[test]
+    fn start_offset_places_signal() {
+        let mut rng = Rng64::new(4);
+        let h = CMat::identity(1);
+        let streams = vec![vec![C64::one(); 3]];
+        let rx = Medium::mix(
+            &[AirTransmission {
+                streams: &streams,
+                channel: &h,
+                cfo: Cfo::none(1e6),
+                start: 5,
+            }],
+            1,
+            10,
+            no_noise(),
+            &mut rng,
+        );
+        for t in 0..5 {
+            assert_eq!(rx[0][t], C64::zero(), "t={t} should be silent");
+        }
+        for t in 5..8 {
+            assert_eq!(rx[0][t], C64::one(), "t={t} should carry signal");
+        }
+        for t in 8..10 {
+            assert_eq!(rx[0][t], C64::zero(), "t={t} should be silent again");
+        }
+    }
+
+    #[test]
+    fn transmission_truncated_at_window_end() {
+        let mut rng = Rng64::new(5);
+        let h = CMat::identity(1);
+        let streams = vec![vec![C64::one(); 100]];
+        let rx = Medium::mix(
+            &[AirTransmission {
+                streams: &streams,
+                channel: &h,
+                cfo: Cfo::none(1e6),
+                start: 0,
+            }],
+            1,
+            10,
+            no_noise(),
+            &mut rng,
+        );
+        assert_eq!(rx[0].len(), 10);
+    }
+
+    #[test]
+    fn noise_power_is_injected() {
+        let mut rng = Rng64::new(6);
+        let rx = Medium::mix(&[], 2, 50_000, Awgn::new(0.5), &mut rng);
+        let p: f64 = rx[0].iter().map(|z| z.norm_sqr()).sum::<f64>() / 50_000.0;
+        assert!((p - 0.5).abs() < 0.02, "noise power {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "channel shape")]
+    fn shape_mismatch_rejected() {
+        let mut rng = Rng64::new(7);
+        let h = CMat::identity(2); // 2×2 but tx has 1 antenna
+        let streams = vec![vec![C64::one()]];
+        let _ = Medium::mix(
+            &[AirTransmission {
+                streams: &streams,
+                channel: &h,
+                cfo: Cfo::none(1e6),
+                start: 0,
+            }],
+            2,
+            1,
+            no_noise(),
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,309 @@
+//! OFDM with cyclic prefix, and the per-subcarrier alignment machinery.
+//!
+//! §6c of the paper: "We conjecture that even if the channel is not quite
+//! flat, one can still do the alignment separately in each OFDM subcarrier
+//! without trying to synchronize the transmitters." The authors could not
+//! test this on USRP1 hardware (their channels were genuinely flat); the
+//! simulator here has no such limitation, so the conjecture becomes a
+//! runnable experiment: a multi-tap (frequency-selective) channel is flat
+//! *per subcarrier* after the FFT, and the alignment equations can be solved
+//! independently in each bin.
+
+use crate::fft::{convolve, fft, ifft};
+use iac_linalg::{C64, CMat, Rng64};
+
+/// OFDM parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct OfdmConfig {
+    /// FFT size (number of subcarriers, power of two).
+    pub n_subcarriers: usize,
+    /// Cyclic-prefix length in samples (must cover the channel delay spread
+    /// for perfect per-subcarrier flatness).
+    pub cp_len: usize,
+}
+
+impl OfdmConfig {
+    /// 64 subcarriers with a 16-sample CP — the classic 802.11a/g shape.
+    pub fn wifi_like() -> Self {
+        Self {
+            n_subcarriers: 64,
+            cp_len: 16,
+        }
+    }
+
+    /// Samples per OFDM symbol on the air.
+    pub fn symbol_len(&self) -> usize {
+        self.n_subcarriers + self.cp_len
+    }
+}
+
+/// Modulate frequency-domain symbols (one per subcarrier) into one OFDM
+/// time-domain symbol with cyclic prefix.
+pub fn ofdm_modulate(config: &OfdmConfig, freq_symbols: &[C64]) -> Vec<C64> {
+    assert_eq!(
+        freq_symbols.len(),
+        config.n_subcarriers,
+        "need one symbol per subcarrier"
+    );
+    let mut time = freq_symbols.to_vec();
+    ifft(&mut time);
+    let mut out = Vec::with_capacity(config.symbol_len());
+    out.extend_from_slice(&time[config.n_subcarriers - config.cp_len..]);
+    out.extend_from_slice(&time);
+    out
+}
+
+/// Demodulate one OFDM symbol (starting at the cyclic prefix) back to
+/// per-subcarrier frequency-domain symbols.
+pub fn ofdm_demodulate(config: &OfdmConfig, samples: &[C64]) -> Vec<C64> {
+    assert!(
+        samples.len() >= config.symbol_len(),
+        "short OFDM symbol buffer"
+    );
+    let mut time = samples[config.cp_len..config.symbol_len()].to_vec();
+    fft(&mut time);
+    time
+}
+
+/// A frequency-selective SISO channel as taps; OFDM turns it into one
+/// complex coefficient per subcarrier.
+pub fn taps_to_subcarrier_gains(taps: &[C64], n_subcarriers: usize) -> Vec<C64> {
+    let mut padded = taps.to_vec();
+    padded.resize(n_subcarriers, C64::zero());
+    fft(&mut padded);
+    padded
+}
+
+/// A multi-tap MIMO channel: `taps[k]` is the `rx×tx` matrix of tap `k`.
+#[derive(Debug, Clone)]
+pub struct MultitapChannel {
+    /// Channel taps, strongest first.
+    pub taps: Vec<CMat>,
+}
+
+impl MultitapChannel {
+    /// Random exponentially-decaying power-delay profile with `n_taps` taps
+    /// and per-tap decay `decay` (0 = single tap ⇒ flat channel). The total
+    /// power across taps is normalised to 1 per antenna pair.
+    pub fn random(
+        rx: usize,
+        tx: usize,
+        n_taps: usize,
+        decay: f64,
+        rng: &mut Rng64,
+    ) -> Self {
+        assert!(n_taps >= 1, "need at least one tap");
+        let mut weights: Vec<f64> = (0..n_taps).map(|k| (-decay * k as f64).exp()).collect();
+        let total: f64 = weights.iter().sum();
+        for w in weights.iter_mut() {
+            *w = (*w / total).sqrt();
+        }
+        let taps = weights
+            .iter()
+            .map(|&w| CMat::random(rx, tx, rng).scale(w))
+            .collect();
+        Self { taps }
+    }
+
+    /// Apply the channel to per-antenna transmit streams, producing
+    /// per-rx-antenna streams (length grows by `taps−1`).
+    pub fn apply(&self, streams: &[Vec<C64>]) -> Vec<Vec<C64>> {
+        let rx = self.taps[0].rows();
+        let tx = self.taps[0].cols();
+        assert_eq!(streams.len(), tx, "stream count must match tx antennas");
+        let in_len = streams[0].len();
+        let out_len = in_len + self.taps.len() - 1;
+        let mut out = vec![vec![C64::zero(); out_len]; rx];
+        for b in 0..tx {
+            // SISO taps for the (a,b) antenna pair.
+            for a in 0..rx {
+                let siso: Vec<C64> = self.taps.iter().map(|m| m[(a, b)]).collect();
+                let conv = convolve(&streams[b], &siso);
+                for (t, &v) in conv.iter().enumerate() {
+                    out[a][t] += v;
+                }
+            }
+        }
+        out
+    }
+
+    /// The per-subcarrier MIMO channel matrices after OFDM: one `rx×tx`
+    /// matrix per bin. Within each bin the channel is *flat* — which is what
+    /// makes per-subcarrier alignment possible.
+    pub fn per_subcarrier(&self, n_subcarriers: usize) -> Vec<CMat> {
+        let rx = self.taps[0].rows();
+        let tx = self.taps[0].cols();
+        let mut out = vec![CMat::zeros(rx, tx); n_subcarriers];
+        for a in 0..rx {
+            for b in 0..tx {
+                let siso: Vec<C64> = self.taps.iter().map(|m| m[(a, b)]).collect();
+                let gains = taps_to_subcarrier_gains(&siso, n_subcarriers);
+                for (bin, &g) in gains.iter().enumerate() {
+                    out[bin][(a, b)] = g;
+                }
+            }
+        }
+        out
+    }
+
+    /// Delay spread in samples (taps − 1).
+    pub fn delay_spread(&self) -> usize {
+        self.taps.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iac_linalg::CVec;
+
+    #[test]
+    fn ofdm_roundtrip_clean() {
+        let cfg = OfdmConfig::wifi_like();
+        let mut rng = Rng64::new(1);
+        let freq: Vec<C64> = (0..64).map(|_| rng.cn01()).collect();
+        let time = ofdm_modulate(&cfg, &freq);
+        assert_eq!(time.len(), 80);
+        let back = ofdm_demodulate(&cfg, &time);
+        for (a, b) in back.iter().zip(&freq) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cyclic_prefix_is_a_copy_of_the_tail() {
+        let cfg = OfdmConfig::wifi_like();
+        let mut rng = Rng64::new(2);
+        let freq: Vec<C64> = (0..64).map(|_| rng.cn01()).collect();
+        let time = ofdm_modulate(&cfg, &freq);
+        for k in 0..cfg.cp_len {
+            assert!((time[k] - time[cfg.n_subcarriers + k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn multipath_channel_is_one_tap_per_subcarrier() {
+        // The core OFDM property: a multi-tap channel becomes per-bin
+        // scalar multiplication, as long as CP ≥ delay spread.
+        let cfg = OfdmConfig::wifi_like();
+        let mut rng = Rng64::new(3);
+        let taps: Vec<C64> = (0..5).map(|_| rng.cn(0.2)).collect();
+        let freq: Vec<C64> = (0..64).map(|_| rng.cn01()).collect();
+        let time = ofdm_modulate(&cfg, &freq);
+        let rxed = convolve(&time, &taps);
+        let back = ofdm_demodulate(&cfg, &rxed);
+        let gains = taps_to_subcarrier_gains(&taps, 64);
+        for bin in 0..64 {
+            let expect = freq[bin] * gains[bin];
+            assert!(
+                (back[bin] - expect).abs() < 1e-9,
+                "bin {bin}: {} vs {expect}",
+                back[bin]
+            );
+        }
+    }
+
+    #[test]
+    fn short_cp_breaks_flatness() {
+        // With delay spread beyond the CP, inter-symbol energy leaks in and
+        // per-bin equalisation is no longer exact — the failure mode §6c
+        // warns about for very wide channels.
+        let cfg = OfdmConfig {
+            n_subcarriers: 64,
+            cp_len: 2,
+        };
+        let mut rng = Rng64::new(4);
+        let taps: Vec<C64> = (0..8).map(|_| rng.cn(0.2)).collect();
+        let f1: Vec<C64> = (0..64).map(|_| rng.cn01()).collect();
+        let f2: Vec<C64> = (0..64).map(|_| rng.cn01()).collect();
+        // Two consecutive symbols so the first one's tail smears into the
+        // second one's window.
+        let mut time = ofdm_modulate(&cfg, &f1);
+        time.extend(ofdm_modulate(&cfg, &f2));
+        let rxed = convolve(&time, &taps);
+        let back2 = ofdm_demodulate(&cfg, &rxed[cfg.symbol_len()..]);
+        let gains = taps_to_subcarrier_gains(&taps, 64);
+        let mut err = 0.0;
+        for bin in 0..64 {
+            err += (back2[bin] - f2[bin] * gains[bin]).norm_sqr();
+        }
+        assert!(err > 1e-3, "expected ISI leakage, got {err}");
+    }
+
+    #[test]
+    fn mimo_multitap_matches_manual_convolution() {
+        let mut rng = Rng64::new(5);
+        let ch = MultitapChannel::random(2, 2, 3, 0.5, &mut rng);
+        let streams: Vec<Vec<C64>> = (0..2)
+            .map(|_| (0..16).map(|_| rng.cn01()).collect())
+            .collect();
+        let out = ch.apply(&streams);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].len(), 18);
+        // Check one output sample by hand.
+        let t = 5;
+        let mut expect = C64::zero();
+        for (k, tap) in ch.taps.iter().enumerate() {
+            if t >= k {
+                for b in 0..2 {
+                    expect += tap[(0, b)] * streams[b][t - k];
+                }
+            }
+        }
+        assert!((out[0][t] - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn per_subcarrier_grids_are_flat_mimo_channels() {
+        // Single-tap channel: every subcarrier sees the SAME matrix.
+        let mut rng = Rng64::new(6);
+        let flat = MultitapChannel::random(2, 2, 1, 0.0, &mut rng);
+        let bins = flat.per_subcarrier(16);
+        for bin in &bins {
+            assert!((bin - &flat.taps[0]).frobenius_norm() < 1e-10);
+        }
+        // Multi-tap: different matrices per bin (frequency selectivity).
+        let selective = MultitapChannel::random(2, 2, 4, 0.3, &mut rng);
+        let bins = selective.per_subcarrier(16);
+        let d = (&bins[0] - &bins[8]).frobenius_norm();
+        assert!(d > 0.05, "no frequency selectivity: {d}");
+    }
+
+    #[test]
+    fn tap_power_is_normalised() {
+        let mut rng = Rng64::new(7);
+        let mut acc = 0.0;
+        let trials = 500;
+        for _ in 0..trials {
+            let ch = MultitapChannel::random(2, 2, 4, 0.7, &mut rng);
+            acc += ch
+                .taps
+                .iter()
+                .map(|m| m.frobenius_norm().powi(2))
+                .sum::<f64>()
+                / 4.0; // per antenna pair
+        }
+        let avg = acc / trials as f64;
+        assert!((avg - 1.0).abs() < 0.1, "tap power {avg}");
+    }
+
+    #[test]
+    fn per_bin_alignment_direction_varies() {
+        // The whole point of §6c: the aligning direction differs per bin on
+        // a selective channel, so one flat-channel encoding vector cannot
+        // align every bin — but per-bin vectors can.
+        let mut rng = Rng64::new(8);
+        let h1 = MultitapChannel::random(2, 2, 4, 0.4, &mut rng);
+        let h2 = MultitapChannel::random(2, 2, 4, 0.4, &mut rng);
+        let b1 = h1.per_subcarrier(16);
+        let b2 = h2.per_subcarrier(16);
+        // v2(bin) = H2(bin)⁻¹·H1(bin)·v1 — compare bins 0 and 8.
+        let v1 = CVec::random_unit(2, &mut rng);
+        let v2_bin0 = b2[0].inverse().unwrap().mul_mat(&b1[0]).mul_vec(&v1);
+        let v2_bin8 = b2[8].inverse().unwrap().mul_mat(&b1[8]).mul_vec(&v1);
+        assert!(
+            v2_bin0.alignment_with(&v2_bin8) < 0.999,
+            "selective channel produced identical alignment across bins"
+        );
+    }
+}

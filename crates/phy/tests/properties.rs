@@ -1,0 +1,147 @@
+//! Property-based tests for the PHY substrate: round-trips and conservation
+//! laws that must hold for arbitrary payloads, channels and parameters.
+
+use iac_linalg::{C64, CVec, Rng64};
+use iac_phy::fec::{ConvK3, Hamming74};
+use iac_phy::fft::{convolve, fft, ifft};
+use iac_phy::frame::{bits_to_bytes, bytes_to_bits, crc32, Frame};
+use iac_phy::modulation::{bit_errors, Bpsk, Modulation, Qam16, Qpsk};
+use iac_phy::preamble::Preamble;
+use iac_phy::precode::{precode, sum_streams};
+use iac_phy::project::combine;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn frame_roundtrips_any_payload(payload in proptest::collection::vec(any::<u8>(), 0..2000),
+                                    src in any::<u16>(), dst in any::<u16>(), seq in any::<u16>()) {
+        let f = Frame::new(src, dst, seq, payload);
+        let decoded = Frame::decode(f.encode()).unwrap();
+        prop_assert_eq!(decoded, f);
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected(payload in proptest::collection::vec(any::<u8>(), 1..256),
+                                       flip in any::<usize>()) {
+        let f = Frame::new(1, 2, 3, payload);
+        let mut bits = f.to_bits();
+        let idx = flip % bits.len();
+        bits[idx] = !bits[idx];
+        prop_assert!(Frame::from_bits(&bits).is_err(), "flip at {idx} undetected");
+    }
+
+    #[test]
+    fn crc_differs_on_different_inputs(a in proptest::collection::vec(any::<u8>(), 1..64),
+                                       b in proptest::collection::vec(any::<u8>(), 1..64)) {
+        prop_assume!(a != b);
+        // Not a guarantee for all pairs (CRC32 collides), but for short
+        // random independent inputs a collision is ~2^-32; treat one as a
+        // bug in practice.
+        prop_assert_ne!(crc32(&a), crc32(&b));
+    }
+
+    #[test]
+    fn bits_bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(bits_to_bytes(&bytes_to_bits(&data)), data);
+    }
+
+    #[test]
+    fn modulation_roundtrips(bits in proptest::collection::vec(any::<bool>(), 1..512)) {
+        for m in [&Bpsk as &dyn Modulation, &Qpsk, &Qam16] {
+            let back = m.demodulate(&m.modulate(&bits));
+            prop_assert_eq!(bit_errors(&bits, &back[..bits.len()]), 0);
+        }
+    }
+
+    #[test]
+    fn hamming_corrects_one_flip_per_block(bits in proptest::collection::vec(any::<bool>(), 4..128),
+                                           flip_seed in any::<u64>()) {
+        let coded = Hamming74.encode(&bits);
+        let mut corrupted = coded.clone();
+        // One flip in each 7-bit block.
+        let mut rng = Rng64::new(flip_seed);
+        for block in 0..corrupted.len() / 7 {
+            let k = block * 7 + rng.below(7) as usize;
+            corrupted[k] = !corrupted[k];
+        }
+        let decoded = Hamming74.decode(&corrupted);
+        prop_assert_eq!(&decoded[..bits.len()], &bits[..]);
+    }
+
+    #[test]
+    fn viterbi_roundtrips_clean(bits in proptest::collection::vec(any::<bool>(), 1..512)) {
+        let decoded = ConvK3.decode(&ConvK3.encode(&bits));
+        prop_assert_eq!(decoded, bits);
+    }
+
+    #[test]
+    fn fft_roundtrip_preserves_signal(seed in any::<u64>(), log_n in 1u32..9) {
+        let n = 1usize << log_n;
+        let mut rng = Rng64::new(seed);
+        let orig: Vec<C64> = (0..n).map(|_| rng.cn01()).collect();
+        let mut x = orig.clone();
+        fft(&mut x);
+        ifft(&mut x);
+        for (a, b) in x.iter().zip(&orig) {
+            prop_assert!((*a - *b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn convolution_is_commutative(seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let a: Vec<C64> = (0..17).map(|_| rng.cn01()).collect();
+        let b: Vec<C64> = (0..5).map(|_| rng.cn01()).collect();
+        let ab = convolve(&a, &b);
+        let ba = convolve(&b, &a);
+        prop_assert_eq!(ab.len(), ba.len());
+        for (x, y) in ab.iter().zip(&ba) {
+            prop_assert!((*x - *y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn precode_project_is_scalar_channel(seed in any::<u64>(), power in 0.1f64..4.0) {
+        // Projecting a precoded stream through an identity channel onto the
+        // same vector recovers the samples scaled by √power (v unit norm).
+        let mut rng = Rng64::new(seed);
+        let samples: Vec<C64> = (0..64).map(|_| rng.cn01()).collect();
+        let v = CVec::random_unit(2, &mut rng);
+        let streams = precode(&samples, &v, power);
+        let z = combine(&streams, &v);
+        for (out, orig) in z.iter().zip(&samples) {
+            prop_assert!((*out - orig.scale(power.sqrt())).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn superposition_is_linear(seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let s1: Vec<C64> = (0..32).map(|_| rng.cn01()).collect();
+        let s2: Vec<C64> = (0..32).map(|_| rng.cn01()).collect();
+        let v1 = CVec::random_unit(2, &mut rng);
+        let v2 = CVec::random_unit(2, &mut rng);
+        let joint = sum_streams(&[precode(&s1, &v1, 1.0), precode(&s2, &v2, 1.0)]);
+        let u = CVec::random_unit(2, &mut rng);
+        let z_joint = combine(&joint, &u);
+        let z1 = combine(&precode(&s1, &v1, 1.0), &u);
+        let z2 = combine(&precode(&s2, &v2, 1.0), &u);
+        for t in 0..32 {
+            prop_assert!((z_joint[t] - (z1[t] + z2[t])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn preamble_detection_at_any_offset(offset in 0usize..200, seed in any::<u64>()) {
+        let p = Preamble::paper_default();
+        let mut rng = Rng64::new(seed);
+        let mut stream: Vec<C64> = (0..offset).map(|_| rng.cn(0.01)).collect();
+        stream.extend(p.samples());
+        stream.extend((0..50).map(|_| rng.cn(0.01)));
+        let (at, corr) = p.detect_best(&stream).unwrap();
+        prop_assert_eq!(at, offset);
+        prop_assert!(corr > 0.9);
+    }
+}

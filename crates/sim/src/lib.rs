@@ -1,0 +1,30 @@
+//! The IAC testbed simulator and experiment harness.
+//!
+//! This crate reproduces the paper's evaluation (§10) end to end. It stands
+//! in for the 20-node USRP deployment of Fig. 11: nodes are placed in a
+//! simulated room, per-pair channels follow calibrated path loss plus
+//! Rayleigh fading, and the §10(e) methodology is followed exactly — the
+//! same timeslot budget is given to 802.11-MIMO (each client on its best AP,
+//! TDMA) and to IAC (concurrent transmission groups), per-packet
+//! post-processing SINRs are "measured", and rates come from Eq. 9.
+//!
+//! * [`testbed`] — node placement and per-experiment channel grids.
+//! * [`experiment`] — the shared baseline-vs-IAC measurement loop.
+//! * [`stats`] — means, CDFs, scatter series, ASCII/CSV rendering.
+//! * [`samplelevel`] — the full sample-level IAC decode chain on the
+//!   `iac-phy` radio (training → alignment → concurrent packets → projection
+//!   → Ethernet → cancellation → demodulation → CRC), used by the §6
+//!   practicality experiments.
+//! * [`scenarios`] — one module per paper artifact: Figs. 12, 13a/b, 14,
+//!   15a/b, 16, the Lemma 5.1/5.2 bound checks, the §6 claims, the §7e
+//!   overhead accounting, and the Fig. 17 clustered-mesh extension.
+
+pub mod experiment;
+pub mod samplelevel;
+pub mod scenarios;
+pub mod stats;
+pub mod testbed;
+
+pub use experiment::{ExperimentConfig, ScatterPoint};
+pub use stats::{cdf_points, mean, Summary};
+pub use testbed::Testbed;

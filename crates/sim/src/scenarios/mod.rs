@@ -1,0 +1,16 @@
+//! One module per paper artifact. Each exposes a `run(...) -> *Report` whose
+//! `Display` implementation prints the figure's series and headline numbers
+//! next to the paper's reported values (see EXPERIMENTS.md at the workspace
+//! root for the recorded comparison).
+
+pub mod ablations;
+pub mod clustered;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod lemmas;
+pub mod ofdm;
+pub mod overhead;
+pub mod sec6;

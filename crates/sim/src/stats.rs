@@ -1,0 +1,235 @@
+//! Statistics and rendering helpers for the experiment harness.
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Empirical CDF: sorted `(value, fraction ≤ value)` points.
+pub fn cdf_points(xs: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = sorted.len();
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n as f64))
+        .collect()
+}
+
+/// Quantile by linear interpolation on the sorted sample, `q ∈ [0,1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    assert!(!xs.is_empty(), "quantile of empty sample");
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Five-number-ish summary used by the figure reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    pub mean: f64,
+    pub min: f64,
+    pub p25: f64,
+    pub median: f64,
+    pub p75: f64,
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarise a sample (must be nonempty).
+    pub fn of(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "summary of empty sample");
+        Self {
+            mean: mean(xs),
+            min: xs.iter().cloned().fold(f64::INFINITY, f64::min),
+            p25: quantile(xs, 0.25),
+            median: quantile(xs, 0.5),
+            p75: quantile(xs, 0.75),
+            max: xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean {:.2} | min {:.2} | p25 {:.2} | median {:.2} | p75 {:.2} | max {:.2}",
+            self.mean, self.min, self.p25, self.median, self.p75, self.max
+        )
+    }
+}
+
+/// Render an ASCII scatter plot (x vs y) with the Gain=1 and Gain=2
+/// reference diagonals the paper draws in Figs. 12–14.
+pub fn render_scatter(points: &[(f64, f64)], width: usize, height: usize, title: &str) -> String {
+    if points.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let xmax = points.iter().map(|p| p.0).fold(0.0, f64::max) * 1.05;
+    let ymax = points.iter().map(|p| p.1).fold(0.0, f64::max) * 1.05;
+    let mut canvas = vec![vec![' '; width]; height];
+    let place = |x: f64, y: f64| -> Option<(usize, usize)> {
+        if x < 0.0 || y < 0.0 || x > xmax || y > ymax {
+            return None;
+        }
+        let col = ((x / xmax) * (width - 1) as f64).round() as usize;
+        let row = height - 1 - ((y / ymax) * (height - 1) as f64).round() as usize;
+        Some((row, col))
+    };
+    // Reference diagonals.
+    for k in 0..width * 4 {
+        let x = xmax * k as f64 / (width * 4) as f64;
+        if let Some((r, c)) = place(x, x) {
+            canvas[r][c] = '.';
+        }
+        if let Some((r, c)) = place(x, 2.0 * x) {
+            canvas[r][c] = ':';
+        }
+    }
+    for &(x, y) in points {
+        if let Some((r, c)) = place(x, y) {
+            canvas[r][c] = 'o';
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for row in canvas {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "x: 0..{xmax:.1} (802.11-MIMO rate b/s/Hz)   y: 0..{ymax:.1} (IAC rate)   '.'=Gain 1  ':'=Gain 2\n"
+    ));
+    out
+}
+
+/// Render an ASCII CDF for several named series.
+pub fn render_cdfs(series: &[(&str, &[f64])], width: usize, title: &str) -> String {
+    let mut out = format!("{title}\n");
+    let xmax = series
+        .iter()
+        .flat_map(|(_, xs)| xs.iter())
+        .cloned()
+        .fold(0.0, f64::max)
+        * 1.05;
+    for (name, xs) in series {
+        let cdf = cdf_points(xs);
+        out.push_str(&format!("  {name:<14}"));
+        let mut line = String::new();
+        for k in 0..width {
+            let x = xmax * k as f64 / width as f64;
+            let frac = cdf
+                .iter()
+                .take_while(|(v, _)| *v <= x)
+                .last()
+                .map(|(_, f)| *f)
+                .unwrap_or(0.0);
+            line.push(match (frac * 8.0).round() as usize {
+                0 => ' ',
+                1 => '.',
+                2 => ':',
+                3 => '-',
+                4 => '=',
+                5 => '+',
+                6 => '*',
+                7 => '#',
+                _ => '@',
+            });
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push_str(&format!("  x: 0..{xmax:.1} (per-client gain), glyph density = CDF height\n"));
+    out
+}
+
+/// CSV rendering of (x, y) series.
+pub fn to_csv(header: &str, rows: &[Vec<f64>]) -> String {
+    let mut out = String::from(header);
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v:.6}")).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let xs = [3.0, 1.0, 2.0, 2.0];
+        let cdf = cdf_points(&xs);
+        assert_eq!(cdf.len(), 4);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+    }
+
+    #[test]
+    fn summary_ordering() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let s = Summary::of(&xs);
+        assert!(s.min <= s.p25 && s.p25 <= s.median);
+        assert!(s.median <= s.p75 && s.p75 <= s.max);
+        assert_eq!(s.mean, 3.0);
+    }
+
+    #[test]
+    fn scatter_renders_points() {
+        let plot = render_scatter(&[(5.0, 7.5), (8.0, 12.0)], 40, 12, "test");
+        assert!(plot.contains('o'));
+        assert!(plot.contains("Gain 1"));
+    }
+
+    #[test]
+    fn cdf_render_has_all_series() {
+        let a = [1.0, 2.0];
+        let b = [1.5, 2.5];
+        let out = render_cdfs(&[("fifo", &a), ("brute", &b)], 30, "cdfs");
+        assert!(out.contains("fifo"));
+        assert!(out.contains("brute"));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = to_csv("a,b", &[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("a,b\n"));
+    }
+}

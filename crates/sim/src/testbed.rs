@@ -1,0 +1,197 @@
+//! The 20-node testbed (Fig. 11) and per-experiment channel generation.
+
+use iac_channel::estimation::EstimationConfig;
+use iac_channel::{db_to_linear, Position, Room};
+use iac_core::grid::{ChannelGrid, Direction};
+use iac_linalg::Rng64;
+
+/// A deployed testbed: node positions in a calibrated room.
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    /// The room and link-budget model.
+    pub room: Room,
+    /// Node positions (20 for the paper's testbed).
+    pub positions: Vec<Position>,
+    /// Antennas per node (2 on the paper's USRPs).
+    pub antennas: usize,
+}
+
+impl Testbed {
+    /// Deploy `n` nodes in the default room.
+    pub fn deploy(n: usize, antennas: usize, rng: &mut Rng64) -> Self {
+        let room = Room::testbed_default();
+        let positions = room.place_nodes(n, rng);
+        Self {
+            room,
+            positions,
+            antennas,
+        }
+    }
+
+    /// The paper's testbed: 20 two-antenna nodes.
+    pub fn paper_default(rng: &mut Rng64) -> Self {
+        Self::deploy(20, 2, rng)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the testbed is empty (never for deployed testbeds).
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Per-link amplitude between two nodes: channel entries are `CN(0,1)`
+    /// scaled by this, so with unit noise power the average per-antenna SNR
+    /// equals the link budget.
+    pub fn amplitude(&self, a: usize, b: usize) -> f64 {
+        db_to_linear(self.room.link_snr_db(&self.positions[a], &self.positions[b])).sqrt()
+    }
+
+    /// Draw one slot's uplink channel grid for the given client and AP node
+    /// indices: independent Rayleigh fading scaled by each pair's path loss.
+    pub fn uplink_grid(&self, clients: &[usize], aps: &[usize], rng: &mut Rng64) -> ChannelGrid {
+        let grid = ChannelGrid::random(
+            Direction::Uplink,
+            clients.len(),
+            aps.len(),
+            self.antennas,
+            self.antennas,
+            rng,
+        );
+        let amps: Vec<Vec<f64>> = clients
+            .iter()
+            .map(|&c| aps.iter().map(|&a| self.amplitude(c, a)).collect())
+            .collect();
+        grid.with_amplitudes(&amps)
+    }
+
+    /// Draw one slot's downlink grid (APs transmit).
+    pub fn downlink_grid(&self, aps: &[usize], clients: &[usize], rng: &mut Rng64) -> ChannelGrid {
+        let grid = ChannelGrid::random(
+            Direction::Downlink,
+            aps.len(),
+            clients.len(),
+            self.antennas,
+            self.antennas,
+            rng,
+        );
+        let amps: Vec<Vec<f64>> = aps
+            .iter()
+            .map(|&a| clients.iter().map(|&c| self.amplitude(a, c)).collect())
+            .collect();
+        grid.with_amplitudes(&amps)
+    }
+
+    /// Estimated grid under the given estimation model.
+    pub fn estimated(
+        &self,
+        grid: &ChannelGrid,
+        est: &EstimationConfig,
+        rng: &mut Rng64,
+    ) -> ChannelGrid {
+        grid.estimated(est, rng)
+    }
+
+    /// Pick `n_aps` AP nodes and `n_clients` client nodes, disjoint, at
+    /// random (the paper's per-experiment methodology: "we randomly pick
+    /// some nodes to act as APs and others to act as clients").
+    pub fn pick_roles(
+        &self,
+        n_aps: usize,
+        n_clients: usize,
+        rng: &mut Rng64,
+    ) -> (Vec<usize>, Vec<usize>) {
+        assert!(n_aps + n_clients <= self.len(), "not enough nodes");
+        let picked = rng.choose_indices(self.len(), n_aps + n_clients);
+        let aps = picked[..n_aps].to_vec();
+        let clients = picked[n_aps..].to_vec();
+        (aps, clients)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployment_shape() {
+        let mut rng = Rng64::new(1);
+        let tb = Testbed::paper_default(&mut rng);
+        assert_eq!(tb.len(), 20);
+        assert_eq!(tb.antennas, 2);
+        assert!(!tb.is_empty());
+    }
+
+    #[test]
+    fn grids_have_role_shapes() {
+        let mut rng = Rng64::new(2);
+        let tb = Testbed::paper_default(&mut rng);
+        let up = tb.uplink_grid(&[0, 1, 2], &[3, 4, 5], &mut rng);
+        assert_eq!(up.transmitters(), 3);
+        assert_eq!(up.receivers(), 3);
+        let down = tb.downlink_grid(&[3, 4], &[0, 1, 2], &mut rng);
+        assert_eq!(down.transmitters(), 2);
+        assert_eq!(down.receivers(), 3);
+    }
+
+    #[test]
+    fn amplitudes_decay_with_distance() {
+        let mut rng = Rng64::new(3);
+        let tb = Testbed::paper_default(&mut rng);
+        // Find the closest and farthest pairs; closer must have the larger
+        // amplitude.
+        let mut best = (0, 1, f64::INFINITY);
+        let mut worst = (0, 1, 0.0f64);
+        for i in 0..tb.len() {
+            for j in (i + 1)..tb.len() {
+                let d = tb.positions[i].distance_to(&tb.positions[j]);
+                if d < best.2 {
+                    best = (i, j, d);
+                }
+                if d > worst.2 {
+                    worst = (i, j, d);
+                }
+            }
+        }
+        assert!(tb.amplitude(best.0, best.1) > tb.amplitude(worst.0, worst.1));
+    }
+
+    #[test]
+    fn role_picks_are_disjoint() {
+        let mut rng = Rng64::new(4);
+        let tb = Testbed::paper_default(&mut rng);
+        for _ in 0..20 {
+            let (aps, clients) = tb.pick_roles(3, 17, &mut rng);
+            assert_eq!(aps.len(), 3);
+            assert_eq!(clients.len(), 17);
+            for a in &aps {
+                assert!(!clients.contains(a));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_snr_matches_link_budget() {
+        // With unit noise, average per-entry |h|² should equal the
+        // link-budget SNR (linear).
+        let mut rng = Rng64::new(5);
+        let tb = Testbed::paper_default(&mut rng);
+        let c = 0;
+        let a = 1;
+        let expect = tb.amplitude(c, a).powi(2);
+        let mut acc = 0.0;
+        let n = 3000;
+        for _ in 0..n {
+            let g = tb.uplink_grid(&[c], &[a], &mut rng);
+            acc += g.link(0, 0).frobenius_norm().powi(2) / 4.0;
+        }
+        let measured = acc / n as f64;
+        assert!(
+            (measured / expect - 1.0).abs() < 0.1,
+            "measured {measured}, expected {expect}"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Diversity and mesh: the Fig. 14 single-client experiment and the Fig. 17
+//! clustered-mesh extension from the paper's conclusion.
+//!
+//! Run with: `cargo run --release --example diversity_and_mesh`
+
+use iac_sim::experiment::ExperimentConfig;
+use iac_sim::scenarios::{clustered, fig14};
+
+fn main() {
+    let cfg = ExperimentConfig {
+        picks: 20,
+        slots: 60,
+        ..ExperimentConfig::paper_default()
+    };
+
+    println!("=== Fig. 14 — one client, two APs: pure diversity gain ===\n");
+    println!("{}", fig14::run(&cfg));
+
+    println!("\n=== Fig. 17 — clustered MIMO mesh bottleneck ===\n");
+    let mesh_cfg = ExperimentConfig {
+        slots: 80,
+        ..ExperimentConfig::paper_default()
+    };
+    // Weak 6 dB inter-cluster links ("6Mbps"), fast intra-cluster links
+    // ("54Mbps" ≈ 20 b/s/Hz at these bandwidths).
+    println!("{}", clustered::run(&mesh_cfg, 6.0, 20.0));
+}

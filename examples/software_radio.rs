@@ -1,0 +1,45 @@
+//! Software radio: the sample-level IAC prototype (the paper's GNU-Radio
+//! implementation, §6 and §10).
+//!
+//! Runs the complete chain on complex baseband samples: quiet training with
+//! least-squares channel + CFO estimation, alignment from the estimates,
+//! three concurrent packets with *different carrier frequency offsets*,
+//! projection at AP0, decision-directed cancellation at AP1, Costas phase
+//! tracking, BPSK demodulation and CRC checks.
+//!
+//! Run with: `cargo run --release --example software_radio`
+
+use iac_sim::samplelevel::{run_uplink3, SampleLevelConfig};
+use iac_sim::scenarios::sec6;
+
+fn main() {
+    println!("=== one full sample-level run (1500-byte payloads) ===\n");
+    let config = SampleLevelConfig {
+        payload_bytes: 1500,
+        client_cfos_hz: [300.0, -200.0],
+        ..SampleLevelConfig::default_test()
+    };
+    let report = run_uplink3(&config);
+    println!(
+        "spatial alignment of p1,p2 at AP0 under CFO: {:.6}",
+        report.alignment_at_ap0
+    );
+    for p in 0..3 {
+        println!(
+            "packet {p}: BER {:.2e}, CRC {}, measured post-projection SNR {:.1} dB",
+            report.ber[p],
+            if report.crc_ok[p] { "ok" } else { "FAILED" },
+            10.0 * report.measured_snr[p].log10()
+        );
+    }
+    println!(
+        "p0 cancellation depth at AP1: {:.1} dB",
+        -10.0 * report.cancel_residual.max(1e-12).log10()
+    );
+
+    println!("\n=== §6a CFO sweep ===\n");
+    println!("{}", sec6::run_cfo_sweep(600, 0x0FF5E7));
+
+    println!("\n=== §6b modulation / FEC transparency ===\n");
+    println!("{}", sec6::run_modulation_matrix(0xFEC));
+}
