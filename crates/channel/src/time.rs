@@ -124,9 +124,9 @@ mod tests {
         }
         let measured = corr / power;
         assert!(
-            (measured - rho.powi(k as i32)).abs() < 0.07,
+            (measured - rho.powi(k)).abs() < 0.07,
             "measured {measured}, expected {}",
-            rho.powi(k as i32)
+            rho.powi(k)
         );
     }
 

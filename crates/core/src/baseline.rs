@@ -1,8 +1,8 @@
 //! The 802.11-MIMO comparison point (paper §10d).
 //!
 //! The paper compares IAC against a point-to-point MIMO design "based on
-//! QUALCOMM's eigenmode enforcing [2]" with full channel knowledge at both
-//! ends — provably optimal for a point-to-point link [29]. That scheme is:
+//! QUALCOMM's eigenmode enforcing \[2\]" with full channel knowledge at both
+//! ends — provably optimal for a point-to-point link \[29\]. That scheme is:
 //! transmit along the right singular vectors of the channel, receive along
 //! the left singular vectors, and water-fill transmit power over the
 //! eigenmodes. With multiple APs available, each 802.11-MIMO client uses the

@@ -90,8 +90,8 @@ pub fn best_downlink_option(
 ) -> Result<DiversityOutcome> {
     // Predict every option from the estimates alone.
     let mut candidates: Vec<(DiversityOption, f64)> = Vec::with_capacity(3);
-    for ap in 0..2 {
-        let (predicted, _) = eigenmode_rate(&links_est[ap], &links_est[ap], p_per_ap, noise);
+    for (ap, link) in links_est.iter().enumerate() {
+        let (predicted, _) = eigenmode_rate(link, link, p_per_ap, noise);
         candidates.push((DiversityOption::BothFrom(ap), predicted));
     }
     let (predicted_split, _) = one_from_each(links_est, links_est, p_per_ap, noise)?;
@@ -141,7 +141,7 @@ mod tests {
                 CMat::random(2, 2, &mut rng),
             ];
             let iac = best_downlink_option(&links, &links, 1.0, 0.05).unwrap();
-            let base = crate::baseline::best_ap_rate(&links.to_vec(), &links.to_vec(), 1.0, 0.05);
+            let base = crate::baseline::best_ap_rate(links.as_ref(), links.as_ref(), 1.0, 0.05);
             assert!(
                 iac.rate >= base.1 - 1e-9,
                 "IAC {} < baseline {}",
@@ -164,7 +164,7 @@ mod tests {
                 CMat::random(2, 2, &mut rng).scale(0.7),
             ];
             iac_acc += best_downlink_option(&links, &links, 1.0, 0.1).unwrap().rate;
-            base_acc += crate::baseline::best_ap_rate(&links.to_vec(), &links.to_vec(), 1.0, 0.1).1;
+            base_acc += crate::baseline::best_ap_rate(links.as_ref(), links.as_ref(), 1.0, 0.1).1;
         }
         let gain = iac_acc / base_acc;
         assert!(gain > 1.02, "no diversity gain: {gain}");

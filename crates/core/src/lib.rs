@@ -28,7 +28,7 @@
 //!   the real system).
 //! * [`rate`] — Eq. 9 achievable rates and Eq. 10 gains.
 //! * [`baseline`] — the 802.11-MIMO comparison point: eigenmode precoding
-//!   with water-filling (QUALCOMM's proposal [2]) plus best-AP selection.
+//!   with water-filling (QUALCOMM's proposal \[2\]) plus best-AP selection.
 //! * [`diversity`] — the 1-client/2-AP option search of §10.2 (Fig. 14).
 //! * [`feasibility`] — the Lemma 5.1/5.2 closed-form bounds.
 

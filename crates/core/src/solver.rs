@@ -97,7 +97,7 @@ impl AlignmentProblem<'_> {
                     subspaces.push(smallest_eigvecs_hermitian(&q, d)?);
                 }
                 // Transmit side: re-pick each constrained encoding vector.
-                for p in 0..n {
+                for (p, enc) in encoding.iter_mut().enumerate() {
                     let mut b = CMat::zeros(m, m);
                     let mut constrained = false;
                     for (step, (receiver, interf, _)) in sets.iter().enumerate() {
@@ -117,7 +117,7 @@ impl AlignmentProblem<'_> {
                         }
                     }
                     if constrained {
-                        encoding[p] = smallest_eigvecs_hermitian(&b, 1)?
+                        *enc = smallest_eigvecs_hermitian(&b, 1)?
                             .pop()
                             .expect("k=1 eigenvector");
                     }
@@ -359,9 +359,8 @@ mod tests {
         let schedule = DecodeSchedule::uplink_2m(2);
         let (grid, sol) = solve(Direction::Uplink, 3, 3, 2, &schedule, 7);
         let sets = schedule.interference_sets();
-        for step in 0..schedule.steps.len() {
+        for (step, &(receiver, ref interf, _)) in sets.iter().enumerate() {
             let us = decoding_vectors(&grid, &schedule, step, &sol.encoding).unwrap();
-            let (receiver, ref interf, _) = sets[step];
             for (ui, &p) in us.iter().zip(&schedule.steps[step].decode) {
                 // Orthogonal to every interference image.
                 for &q in interf {

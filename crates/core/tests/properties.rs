@@ -163,7 +163,7 @@ proptest! {
             c.is_finite() && c < 100.0
         }));
         let iac = iac_core::diversity::best_downlink_option(&links, &links, 1.0, 0.1).unwrap();
-        let base = baseline::best_ap_rate(&links.to_vec(), &links.to_vec(), 1.0, 0.1);
+        let base = baseline::best_ap_rate(links.as_ref(), links.as_ref(), 1.0, 0.1);
         prop_assert!(iac.rate >= base.1 - 1e-9);
     }
 

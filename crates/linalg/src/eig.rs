@@ -117,13 +117,13 @@ pub fn eigh(a: &CMat) -> Result<(Vec<f64>, CMat)> {
                 let phase = apq * (1.0 / g); // e^{iφ}
                 let pc = phase.conj();
                 for i in 0..n {
-                    m[(i, q)] = m[(i, q)] * pc;
+                    m[(i, q)] *= pc;
                 }
                 for i in 0..n {
-                    m[(q, i)] = m[(q, i)] * phase;
+                    m[(q, i)] *= phase;
                 }
                 for i in 0..n {
-                    v[(i, q)] = v[(i, q)] * pc;
+                    v[(i, q)] *= pc;
                 }
                 // Real symmetric Jacobi rotation annihilating m[p][q] = g.
                 let app = m[(p, p)].re;
@@ -499,8 +499,8 @@ mod tests {
         let g = v.hermitian().mul_mat(&v);
         assert!((&g - &CMat::identity(4)).frobenius_norm() < 1e-9);
         // Residuals.
-        for i in 0..4 {
-            assert!(residual(&a, C64::real(ls[i]), &v.col(i)) < 1e-8);
+        for (i, &l) in ls.iter().enumerate() {
+            assert!(residual(&a, C64::real(l), &v.col(i)) < 1e-8);
         }
     }
 

@@ -68,10 +68,10 @@ impl Svd {
                     let phase = apq * (1.0 / off); // e^{iφ}
                     let phase_conj = phase.conj();
                     for i in 0..m {
-                        g[(i, q)] = g[(i, q)] * phase_conj;
+                        g[(i, q)] *= phase_conj;
                     }
                     for i in 0..n {
-                        v[(i, q)] = v[(i, q)] * phase_conj;
+                        v[(i, q)] *= phase_conj;
                     }
                     let gamma = off; // now real and positive
                     let tau = (aqq - app) / (2.0 * gamma);

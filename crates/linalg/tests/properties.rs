@@ -89,8 +89,8 @@ proptest! {
             prop_assert!(l > -1e-8, "PSD eigenvalue {l} negative");
         }
         // A·V ≈ V·diag(λ)
-        for j in 0..n {
-            let resid = (&a.mul_vec(&v.col(j)) - &v.col(j).scale(ls[j])).norm();
+        for (j, &l) in ls.iter().enumerate().take(n) {
+            let resid = (&a.mul_vec(&v.col(j)) - &v.col(j).scale(l)).norm();
             prop_assert!(resid < 1e-7 * a.frobenius_norm().max(1.0));
         }
     }

@@ -139,8 +139,12 @@ pub struct PcfSim<P: PhyOutcome> {
     pub stats: PcfStats,
     /// Group rate scorer (leader-side prediction); defaults to zero (used by
     /// Fifo which ignores scores). `iac-sim` installs the real estimator.
-    pub scorer: Box<dyn FnMut(&[u16], bool) -> f64>,
+    pub scorer: GroupScorer,
 }
+
+/// Leader-side predictor of a candidate group's rate: `(group, is_downlink)`
+/// in, predicted aggregate rate out.
+pub type GroupScorer = Box<dyn FnMut(&[u16], bool) -> f64>;
 
 impl<P: PhyOutcome> PcfSim<P> {
     /// Build a simulation.

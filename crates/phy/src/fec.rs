@@ -112,15 +112,15 @@ impl ConvK3 {
             let r2 = coded[2 * t + 1];
             let mut next = [INF; Self::STATES];
             let mut surv = [(0u8, false); Self::STATES];
-            for s in 0..Self::STATES {
-                if metric[s] >= INF {
+            for (s, &m) in metric.iter().enumerate() {
+                if m >= INF {
                     continue;
                 }
                 for input in [false, true] {
                     let (g1, g2) = Self::output(s, input);
                     let cost = (g1 != r1) as u32 + (g2 != r2) as u32;
                     let ns = Self::next_state(s, input);
-                    let cand = metric[s] + cost;
+                    let cand = m + cost;
                     if cand < next[ns] {
                         next[ns] = cand;
                         surv[ns] = (s as u8, input);

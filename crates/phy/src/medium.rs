@@ -63,12 +63,12 @@ impl Medium {
                 if air_t >= n_samples {
                     break;
                 }
-                for a in 0..rx_antennas {
+                for (a, out_stream) in out.iter_mut().enumerate() {
                     let mut acc = C64::zero();
                     for b in 0..tx_antennas {
                         acc = tx.channel[(a, b)].mul_add(tx.streams[b][t], acc);
                     }
-                    out[a][air_t] += acc * rot;
+                    out_stream[air_t] += acc * rot;
                 }
                 rot *= step;
             }
@@ -216,14 +216,13 @@ mod tests {
             no_noise(),
             &mut rng,
         );
-        for t in 0..5 {
-            assert_eq!(rx[0][t], C64::zero(), "t={t} should be silent");
-        }
-        for t in 5..8 {
-            assert_eq!(rx[0][t], C64::one(), "t={t} should carry signal");
-        }
-        for t in 8..10 {
-            assert_eq!(rx[0][t], C64::zero(), "t={t} should be silent again");
+        for (t, &sample) in rx[0].iter().enumerate() {
+            let expect = if (5..8).contains(&t) {
+                C64::one()
+            } else {
+                C64::zero()
+            };
+            assert_eq!(sample, expect, "t={t}");
         }
     }
 

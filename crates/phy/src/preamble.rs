@@ -4,7 +4,7 @@
 //! known sequence to find packet starts, then use the known symbols to
 //! estimate the channel (§8a). For MIMO training the antennas take turns
 //! (time-orthogonal preambles) so the per-antenna coefficients separate —
-//! "standard MIMO channel estimation [2]".
+//! "standard MIMO channel estimation \[2\]".
 
 use iac_linalg::C64;
 
@@ -28,7 +28,7 @@ impl Preamble {
         let chips = (0..n)
             .map(|_| {
                 let out = state & 1;
-                let feedback = ((state >> 0) ^ (state >> 2)) & 1; // x^5 + x^3 + 1
+                let feedback = (state ^ (state >> 2)) & 1; // x^5 + x^3 + 1
                 state = (state >> 1) | (feedback << 4);
                 if out == 1 {
                     1.0
@@ -56,7 +56,7 @@ impl Preamble {
     }
 
     /// Normalised cross-correlation magnitude of the preamble against the
-    /// stream at offset `at` — in [0,1], 1 for a perfect (scaled/rotated)
+    /// stream at offset `at` — in \[0,1\], 1 for a perfect (scaled/rotated)
     /// match. Phase rotations (CFO, channel) do not reduce the peak.
     pub fn correlation_at(&self, stream: &[C64], at: usize) -> f64 {
         let n = self.len();

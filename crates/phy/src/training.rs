@@ -2,7 +2,7 @@
 //!
 //! §8a: "the first time a client broadcasts an association message, all APs
 //! estimate the channel from that client to themselves... using standard
-//! MIMO channel estimation [2]". Standard MIMO training makes the antennas
+//! MIMO channel estimation \[2\]". Standard MIMO training makes the antennas
 //! take turns sending the preamble (time-orthogonal training) so each column
 //! of `H` is observed in isolation.
 
@@ -80,7 +80,7 @@ pub fn estimate_cfo(received: &[C64], known: &[C64], sample_rate_hz: f64) -> f64
     // Stage 2 (fine, long lag): the accumulated phase over `lag` samples is
     // `lag`× larger while the noise stays put; the coarse estimate resolves
     // the 2π ambiguity.
-    let lag = (n / 4).min(64).max(2);
+    let lag = (n / 4).clamp(2, 64);
     let expected = coarse * lag as f64;
     let measured = autocorr_phase(lag);
     // Unwrap `measured` onto the branch nearest the coarse prediction.

@@ -63,8 +63,8 @@ pub fn run(cfg: &ExperimentConfig) -> Fig14Report {
             let links_true: [CMat; 2] = [grid.link(0, 0).clone(), grid.link(1, 0).clone()];
             let links_est: [CMat; 2] = [est.link(0, 0).clone(), est.link(1, 0).clone()];
             base += best_ap_rate(
-                &links_true.to_vec(),
-                &links_est.to_vec(),
+                links_true.as_ref(),
+                links_est.as_ref(),
                 cfg.per_node_power,
                 cfg.noise,
             )

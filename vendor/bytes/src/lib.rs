@@ -1,0 +1,339 @@
+//! Minimal offline stand-in for the [`bytes`](https://crates.io/crates/bytes)
+//! crate, providing exactly the subset the IAC workspace uses: [`Bytes`] as a
+//! cheaply-cloneable read cursor over an immutable buffer, [`BytesMut`] as a
+//! growable write buffer, and the [`Buf`]/[`BufMut`] accessor traits with
+//! big-endian integer and `f32` codecs.
+//!
+//! The build environment has no access to crates.io, so this shim keeps the
+//! wire-format code (`iac-phy::frame`, `iac-mac::frames`) source-compatible
+//! with the real crate. Swap the path dependency for the registry version and
+//! everything keeps compiling.
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable byte buffer with an advancing read cursor.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::from(Vec::new())
+    }
+
+    /// Bytes remaining (between the cursor and the end).
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split off and return the first `n` bytes, advancing `self` past them.
+    ///
+    /// # Panics
+    /// Panics if `n > self.len()`.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to out of range");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + n,
+        };
+        self.start += n;
+        head
+    }
+
+    /// A sub-view of the remaining bytes (indices relative to the cursor).
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of range");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        assert!(self.len() >= N, "buffer underflow");
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.data[self.start..self.start + N]);
+        self.start += N;
+        out
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Self {
+            data: Arc::new(data),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Self::from(data.to_vec())
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(data: &[u8; N]) -> Self {
+        Self::from(data.to_vec())
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(data: &str) -> Self {
+        Self::from(data.as_bytes().to_vec())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state)
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// A growable byte buffer for building wire frames.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(n),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Read accessors over a byte cursor. Multi-byte reads are big-endian,
+/// matching the real `bytes` crate's `get_*` family.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Read a big-endian `u16`.
+    fn get_u16(&mut self) -> u16;
+    /// Read a big-endian `u32`.
+    fn get_u32(&mut self) -> u32;
+    /// Read a big-endian `u64`.
+    fn get_u64(&mut self) -> u64;
+    /// Read a big-endian `f32`.
+    fn get_f32(&mut self) -> f32;
+    /// Read a big-endian `f64`.
+    fn get_f64(&mut self) -> f64;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn get_u8(&mut self) -> u8 {
+        u8::from_be_bytes(self.take_array())
+    }
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take_array())
+    }
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take_array())
+    }
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take_array())
+    }
+    fn get_f32(&mut self) -> f32 {
+        f32::from_be_bytes(self.take_array())
+    }
+    fn get_f64(&mut self) -> f64 {
+        f64::from_be_bytes(self.take_array())
+    }
+}
+
+/// Write accessors over a growable buffer. Multi-byte writes are big-endian,
+/// matching the real `bytes` crate's `put_*` family.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+    /// Append a big-endian `f32`.
+    fn put_f32(&mut self, v: f32);
+    /// Append a big-endian `f64`.
+    fn put_f64(&mut self, v: f64);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    fn put_f32(&mut self, v: f32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    fn put_f64(&mut self, v: f64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(0xAB);
+        buf.put_u16(0x1234);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u64(0x0123_4567_89AB_CDEF);
+        buf.put_f32(1.5);
+        buf.put_f64(-2.25);
+        buf.put_slice(b"xyz");
+        let mut b = buf.freeze();
+        assert_eq!(b.remaining(), 1 + 2 + 4 + 8 + 4 + 8 + 3);
+        assert_eq!(b.get_u8(), 0xAB);
+        assert_eq!(b.get_u16(), 0x1234);
+        assert_eq!(b.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(b.get_f32(), 1.5);
+        assert_eq!(b.get_f64(), -2.25);
+        assert_eq!(&b[..], b"xyz");
+    }
+
+    #[test]
+    fn split_and_slice_are_views() {
+        let mut b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let head = b.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&b[..], &[3, 4, 5]);
+        let mid = b.slice(1..3);
+        assert_eq!(&mid[..], &[4, 5]);
+        assert_eq!(&b.slice(..2)[..], &[3, 4]);
+    }
+
+    #[test]
+    fn equality_ignores_cursor_provenance() {
+        let mut a = Bytes::from(vec![9u8, 1, 2]);
+        a.get_u8();
+        assert_eq!(a, Bytes::from(vec![1u8, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to out of range")]
+    fn split_past_end_panics() {
+        Bytes::from(vec![1u8]).split_to(2);
+    }
+}
