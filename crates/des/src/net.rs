@@ -1,0 +1,169 @@
+//! Event-driven network components: the shared event vocabulary, per-client
+//! traffic sources, and the wired sinks behind the Ethernet backplane.
+//!
+//! A scenario wires these around the event-driven MAC in [`crate::pcf`]:
+//! sources feed `Arrival` events to the MAC, the MAC feeds `WireDeliver`
+//! events to the sinks through the latency-modelled hub, and client churn is
+//! expressed as externally scheduled `Join`/`Leave` events to the sources.
+
+use crate::metrics::SharedMetrics;
+use crate::simulation::{Ctx, EventHandler};
+use crate::time::SimTime;
+use crate::traffic::ArrivalProcess;
+use iac_mac::pcf::{GroupPlan, PacketResult};
+
+/// The one event vocabulary every component of the network model speaks.
+#[derive(Debug, Clone)]
+pub enum NetEvent {
+    /// Source self-tick: its next packet is due.
+    SourceTick,
+    /// Activate a traffic source (client association / churn join).
+    Join,
+    /// Deactivate a traffic source (client churn leave).
+    Leave,
+    /// A packet offered to the MAC's queues.
+    Arrival {
+        /// Originating (uplink) or destination (downlink) client.
+        client: u16,
+        /// Per-client sequence number.
+        seq: u16,
+        /// Direction: uplink (client → wired network) or downlink.
+        uplink: bool,
+    },
+    /// MAC self-event: a contention-free period begins.
+    CfpStart,
+    /// MAC self-event: the beacon finished transmitting.
+    BeaconDone,
+    /// MAC self-event: a transmission group's airtime elapsed.
+    GroupDone {
+        /// Direction of the group.
+        uplink: bool,
+        /// The group as formed from the queue.
+        plan: GroupPlan,
+        /// The PHY's verdict per packet (resolved when the group started).
+        results: Vec<PacketResult>,
+    },
+    /// A forwarded uplink packet completing delivery at an AP's wire port.
+    WireDeliver {
+        /// AP that decoded and forwarded the packet.
+        from_ap: u16,
+        /// Client the packet came from.
+        client: u16,
+        /// Its sequence number.
+        seq: u16,
+    },
+}
+
+/// A per-client packet generator driving one direction of traffic.
+///
+/// The source arms a self-tick per arrival (gaps drawn from its
+/// [`ArrivalProcess`] through the simulation RNG), emits an `Arrival` to the
+/// MAC on each tick, and stops generating at the configured horizon so
+/// `step_until_no_events()` terminates. A source starts inactive and
+/// generates nothing until it receives a [`NetEvent::Join`] (schedule one at
+/// t = 0 for an always-on source); `Leave` deactivates it again for churn
+/// scenarios.
+pub struct TrafficSource {
+    client: u16,
+    mac: crate::event::ComponentId,
+    uplink: bool,
+    process: ArrivalProcess,
+    horizon: SimTime,
+    active: bool,
+    pending: Option<crate::event::EventId>,
+    next_seq: u16,
+    metrics: SharedMetrics,
+}
+
+impl TrafficSource {
+    /// A source for `client` feeding the MAC component `mac`. The source is
+    /// inactive until its first [`NetEvent::Join`] arrives; schedule that
+    /// `Join` at t = 0 for a source that ticks from the start of the run.
+    pub fn new(
+        client: u16,
+        mac: crate::event::ComponentId,
+        uplink: bool,
+        process: ArrivalProcess,
+        horizon: SimTime,
+        metrics: SharedMetrics,
+    ) -> Self {
+        Self {
+            client,
+            mac,
+            uplink,
+            process,
+            horizon,
+            active: false,
+            pending: None,
+            next_seq: 0,
+            metrics,
+        }
+    }
+
+    fn arm(&mut self, ctx: &mut Ctx<'_, NetEvent>) {
+        let gap = self.process.next_gap(ctx.rng());
+        if ctx.time() + gap >= self.horizon {
+            self.pending = None;
+            return;
+        }
+        self.pending = Some(ctx.emit_self(gap, NetEvent::SourceTick));
+    }
+}
+
+impl EventHandler<NetEvent> for TrafficSource {
+    fn on_event(&mut self, event: crate::event::Event<NetEvent>, ctx: &mut Ctx<'_, NetEvent>) {
+        match event.payload {
+            NetEvent::Join if !self.active => {
+                self.active = true;
+                self.arm(ctx);
+            }
+            NetEvent::Leave => {
+                self.active = false;
+                if let Some(id) = self.pending.take() {
+                    ctx.cancel(id);
+                }
+            }
+            NetEvent::SourceTick => {
+                self.pending = None;
+                if !self.active {
+                    return;
+                }
+                let seq = self.next_seq;
+                self.next_seq = self.next_seq.wrapping_add(1);
+                self.metrics.with(|log| log.offered += 1);
+                ctx.emit(
+                    self.mac,
+                    SimTime::ZERO,
+                    NetEvent::Arrival {
+                        client: self.client,
+                        seq,
+                        uplink: self.uplink,
+                    },
+                );
+                self.arm(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The wired network behind one AP's Ethernet port: counts forwarded uplink
+/// packets as they complete delivery (after wire latency + serialization).
+pub struct WiredSink {
+    metrics: SharedMetrics,
+}
+
+impl WiredSink {
+    /// A sink recording into the shared log.
+    pub fn new(metrics: SharedMetrics) -> Self {
+        Self { metrics }
+    }
+}
+
+impl EventHandler<NetEvent> for WiredSink {
+    fn on_event(&mut self, event: crate::event::Event<NetEvent>, _ctx: &mut Ctx<'_, NetEvent>) {
+        if let NetEvent::WireDeliver { .. } = event.payload {
+            self.metrics.with(|log| log.wire_delivered += 1);
+        }
+    }
+}

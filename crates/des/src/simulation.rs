@@ -1,0 +1,336 @@
+//! The simulation driver.
+//!
+//! A [`Simulation`] owns the clock, the event queue, a single seeded
+//! [`Rng64`], and one boxed [`EventHandler`] per registered component.
+//! Execution is strictly sequential: [`Simulation::step`] pops the earliest
+//! event, advances the clock to its timestamp, and dispatches it to the
+//! destination component, which may schedule further events through the
+//! [`Ctx`] it is handed. Because the queue breaks time ties by insertion
+//! order and all randomness flows through the one seeded generator, a run is
+//! bit-reproducible from its `u64` seed.
+
+use crate::event::{ComponentId, Event, EventId};
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+use iac_linalg::Rng64;
+
+/// Pseudo-source id for events injected from outside any handler (e.g. the
+/// initial kick-off events a scenario schedules before running).
+pub const EXTERNAL: ComponentId = ComponentId::MAX;
+
+/// A component's view of the running simulation while it handles an event:
+/// the current time, the shared RNG, and the ability to schedule (or cancel)
+/// events.
+pub struct Ctx<'a, E> {
+    time: SimTime,
+    self_id: ComponentId,
+    rng: &'a mut Rng64,
+    queue: &'a mut EventQueue<E>,
+}
+
+impl<E> Ctx<'_, E> {
+    /// Current simulated time.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// The handling component's own id.
+    pub fn self_id(&self) -> ComponentId {
+        self.self_id
+    }
+
+    /// The simulation's seeded random source.
+    pub fn rng(&mut self) -> &mut Rng64 {
+        self.rng
+    }
+
+    /// Schedule `payload` for `dst`, `delay` from now.
+    pub fn emit(&mut self, dst: ComponentId, delay: SimTime, payload: E) -> EventId {
+        assert!(
+            delay >= SimTime::ZERO,
+            "cannot schedule into the past (delay {delay})"
+        );
+        self.queue.push(self.time + delay, self.self_id, dst, payload)
+    }
+
+    /// Schedule a self-event `delay` from now.
+    pub fn emit_self(&mut self, delay: SimTime, payload: E) -> EventId {
+        self.emit(self.self_id, delay, payload)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an already-fired id is
+    /// a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.queue.cancel(id);
+    }
+}
+
+/// A simulation component: anything that reacts to events.
+pub trait EventHandler<E> {
+    /// Handle one event. New events are scheduled through `ctx`.
+    fn on_event(&mut self, event: Event<E>, ctx: &mut Ctx<'_, E>);
+}
+
+/// The discrete-event simulation driver, generic over the event payload `E`.
+pub struct Simulation<E> {
+    time: SimTime,
+    queue: EventQueue<E>,
+    rng: Rng64,
+    handlers: Vec<Box<dyn EventHandler<E>>>,
+    names: Vec<String>,
+    processed: u64,
+    undeliverable: u64,
+}
+
+impl<E> Simulation<E> {
+    /// A fresh simulation at time zero, with its RNG seeded from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            time: SimTime::ZERO,
+            queue: EventQueue::new(),
+            rng: Rng64::new(seed),
+            handlers: Vec::new(),
+            names: Vec::new(),
+            processed: 0,
+            undeliverable: 0,
+        }
+    }
+
+    /// Register a component; returns its id (assigned sequentially from 0).
+    pub fn add_component(
+        &mut self,
+        name: impl Into<String>,
+        handler: impl EventHandler<E> + 'static,
+    ) -> ComponentId {
+        let id = self.handlers.len() as ComponentId;
+        self.handlers.push(Box::new(handler));
+        self.names.push(name.into());
+        id
+    }
+
+    /// A registered component's name.
+    pub fn name(&self, id: ComponentId) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Number of registered components.
+    pub fn components(&self) -> usize {
+        self.handlers.len()
+    }
+
+    /// Inject an event from outside any handler, `delay` from the current
+    /// time.
+    pub fn schedule(&mut self, delay: SimTime, dst: ComponentId, payload: E) -> EventId {
+        assert!(delay >= SimTime::ZERO, "cannot schedule into the past");
+        self.queue.push(self.time + delay, EXTERNAL, dst, payload)
+    }
+
+    /// Cancel a scheduled event by id (no-op if it already fired).
+    pub fn cancel(&mut self, id: EventId) {
+        self.queue.cancel(id);
+    }
+
+    /// Current simulated time.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// Events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Events whose destination was not a registered component.
+    pub fn events_undeliverable(&self) -> u64 {
+        self.undeliverable
+    }
+
+    /// Direct access to the seeded RNG (e.g. for scenario setup draws that
+    /// should share the simulation's stream).
+    pub fn rng(&mut self) -> &mut Rng64 {
+        &mut self.rng
+    }
+
+    /// Process the earliest pending event. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.time, "event queue went back in time");
+        self.time = ev.time;
+        self.processed += 1;
+        let dst = ev.dst as usize;
+        if dst >= self.handlers.len() {
+            self.undeliverable += 1;
+            return true;
+        }
+        // Temporarily replace the handler so it can borrow the rest of the
+        // simulation mutably through `Ctx` (components talk to each other via
+        // events, never by direct call, so re-entry is impossible).
+        let mut handler = std::mem::replace(&mut self.handlers[dst], Box::new(NoOp));
+        let mut ctx = Ctx {
+            time: self.time,
+            self_id: ev.dst,
+            rng: &mut self.rng,
+            queue: &mut self.queue,
+        };
+        handler.on_event(ev, &mut ctx);
+        self.handlers[dst] = handler;
+        true
+    }
+
+    /// Process every event scheduled at or before `t`, then advance the
+    /// clock to exactly `t`. Returns the number of events processed.
+    pub fn step_until_time(&mut self, t: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(next) = self.queue.peek_time() {
+            if next > t {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        if self.time < t {
+            self.time = t;
+        }
+        n
+    }
+
+    /// Run until the event queue is empty. Returns the number of events
+    /// processed. Termination is the model's responsibility: components with
+    /// unconditional self-re-arming ticks never drain the queue.
+    pub fn step_until_no_events(&mut self) -> u64 {
+        let mut n = 0;
+        while self.step() {
+            n += 1;
+        }
+        n
+    }
+}
+
+/// Placeholder handler installed while a component's real handler is
+/// executing; it can never receive an event.
+struct NoOp;
+
+impl<E> EventHandler<E> for NoOp {
+    fn on_event(&mut self, _event: Event<E>, _ctx: &mut Ctx<'_, E>) {
+        unreachable!("NoOp handler dispatched — re-entrant step()?");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Relays each received number back to a peer after a fixed delay,
+    /// decrementing it, until it hits zero.
+    struct PingPong {
+        peer: ComponentId,
+        delay: SimTime,
+        log: std::rc::Rc<std::cell::RefCell<Vec<(f64, u32)>>>,
+    }
+
+    impl EventHandler<u32> for PingPong {
+        fn on_event(&mut self, event: Event<u32>, ctx: &mut Ctx<'_, u32>) {
+            self.log
+                .borrow_mut()
+                .push((ctx.time().micros(), event.payload));
+            if event.payload > 0 {
+                ctx.emit(self.peer, self.delay, event.payload - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_terminates_and_orders() {
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(1);
+        let a = sim.add_component(
+            "a",
+            PingPong {
+                peer: 1,
+                delay: SimTime::from_micros(10.0),
+                log: log.clone(),
+            },
+        );
+        let b = sim.add_component(
+            "b",
+            PingPong {
+                peer: 0,
+                delay: SimTime::from_micros(10.0),
+                log: log.clone(),
+            },
+        );
+        assert_eq!((a, b), (0, 1));
+        sim.schedule(SimTime::ZERO, a, 4);
+        let n = sim.step_until_no_events();
+        assert_eq!(n, 5);
+        assert_eq!(sim.time().micros(), 40.0);
+        let got = log.borrow().clone();
+        assert_eq!(
+            got,
+            vec![(0.0, 4), (10.0, 3), (20.0, 2), (30.0, 1), (40.0, 0)]
+        );
+    }
+
+    #[test]
+    fn step_until_time_stops_at_boundary() {
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(2);
+        let a = sim.add_component(
+            "a",
+            PingPong {
+                peer: 0,
+                delay: SimTime::from_micros(10.0),
+                log: log.clone(),
+            },
+        );
+        sim.schedule(SimTime::ZERO, a, 100);
+        let n = sim.step_until_time(SimTime::from_micros(35.0));
+        assert_eq!(n, 4); // t = 0, 10, 20, 30
+        assert_eq!(sim.time(), SimTime::from_micros(35.0));
+        // The t=40 event is still pending.
+        assert!(sim.step());
+        assert_eq!(sim.time(), SimTime::from_micros(40.0));
+    }
+
+    #[test]
+    fn undeliverable_events_counted() {
+        let mut sim: Simulation<u32> = Simulation::new(3);
+        sim.schedule(SimTime::ZERO, 99, 7);
+        sim.step_until_no_events();
+        assert_eq!(sim.events_undeliverable(), 1);
+        assert_eq!(sim.events_processed(), 1);
+    }
+
+    #[test]
+    fn cancelled_event_never_fires() {
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(4);
+        let a = sim.add_component(
+            "a",
+            PingPong {
+                peer: 0,
+                delay: SimTime::from_micros(1.0),
+                log: log.clone(),
+            },
+        );
+        let id = sim.schedule(SimTime::from_micros(5.0), a, 0);
+        sim.cancel(id);
+        assert_eq!(sim.step_until_no_events(), 0);
+        assert!(log.borrow().is_empty());
+    }
+
+    #[test]
+    fn component_names_recorded() {
+        let mut sim: Simulation<u32> = Simulation::new(5);
+        struct Sink;
+        impl EventHandler<u32> for Sink {
+            fn on_event(&mut self, _e: Event<u32>, _c: &mut Ctx<'_, u32>) {}
+        }
+        let id = sim.add_component("mac", Sink);
+        assert_eq!(sim.name(id), "mac");
+        assert_eq!(sim.components(), 1);
+    }
+}

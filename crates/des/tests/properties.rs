@@ -1,0 +1,143 @@
+//! Property-based tests for the event engine's core guarantees: temporal
+//! order, stable FIFO tie-breaking, and bit-reproducibility from the seed.
+
+use iac_des::prelude::*;
+use iac_des::queue::EventQueue;
+use iac_linalg::Rng64;
+use proptest::prelude::*;
+
+/// Draw a pseudo-random schedule of (time, payload) pairs from a seed, with
+/// deliberately many collisions (times quantised to a few buckets).
+fn random_schedule(seed: u64, n: usize, buckets: u64) -> Vec<(f64, u32)> {
+    let mut rng = Rng64::new(seed);
+    (0..n)
+        .map(|k| {
+            let t = (rng.next_u64() % buckets) as f64;
+            (t, k as u32)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn events_fire_in_non_decreasing_time(seed in any::<u64>(), n in 1usize..200) {
+        let mut q = EventQueue::new();
+        for &(t, k) in &random_schedule(seed, n, 17) {
+            q.push(SimTime::from_micros(t), 0, 0, k);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some(ev) = q.pop() {
+            prop_assert!(ev.time >= last, "time went backwards");
+            last = ev.time;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, n);
+    }
+
+    #[test]
+    fn same_time_events_fire_in_insertion_order(seed in any::<u64>(), n in 1usize..200) {
+        // Heavy collisions: only 3 distinct times.
+        let mut q = EventQueue::new();
+        for &(t, k) in &random_schedule(seed, n, 3) {
+            q.push(SimTime::from_micros(t), 0, 0, k);
+        }
+        // Within each timestamp, payloads (== insertion index) ascend.
+        let mut last: Option<(SimTime, u32)> = None;
+        while let Some(ev) = q.pop() {
+            if let Some((t, k)) = last {
+                if ev.time == t {
+                    prop_assert!(ev.payload > k, "FIFO violated at {}", ev.time);
+                }
+            }
+            last = Some((ev.time, ev.payload));
+        }
+    }
+
+    #[test]
+    fn pop_order_matches_stable_sort(seed in any::<u64>(), n in 1usize..150) {
+        // The queue must agree with the spec: stable sort by time.
+        let schedule = random_schedule(seed, n, 5);
+        let mut q = EventQueue::new();
+        for &(t, k) in &schedule {
+            q.push(SimTime::from_micros(t), 0, 0, k);
+        }
+        let mut expected = schedule;
+        expected.sort_by(|a, b| a.0.total_cmp(&b.0)); // sort_by is stable
+        let mut got = Vec::new();
+        while let Some(ev) = q.pop() {
+            got.push((ev.time.micros(), ev.payload));
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn cancellation_removes_exactly_the_cancelled(seed in any::<u64>(), n in 2usize..100) {
+        let schedule = random_schedule(seed, n, 11);
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = schedule
+            .iter()
+            .map(|&(t, k)| q.push(SimTime::from_micros(t), 0, 0, k))
+            .collect();
+        // Cancel every third event.
+        let cancelled: Vec<bool> = (0..n).map(|k| k % 3 == 0).collect();
+        for (id, &c) in ids.iter().zip(&cancelled) {
+            if c {
+                q.cancel(*id);
+            }
+        }
+        let mut survivors = Vec::new();
+        while let Some(ev) = q.pop() {
+            survivors.push(ev.payload);
+        }
+        for (k, &c) in cancelled.iter().enumerate() {
+            prop_assert_eq!(survivors.contains(&(k as u32)), !c);
+        }
+    }
+
+    #[test]
+    fn full_run_is_bit_identical_across_two_runs(seed in any::<u64>()) {
+        // A component that fans out a random number of children with random
+        // delays — every branch decided by the simulation's seeded RNG.
+        struct Fanout {
+            budget: std::rc::Rc<std::cell::RefCell<u32>>,
+            trace: std::rc::Rc<std::cell::RefCell<Vec<(f64, u32)>>>,
+        }
+        impl EventHandler<u32> for Fanout {
+            fn on_event(&mut self, event: Event<u32>, ctx: &mut Ctx<'_, u32>) {
+                self.trace.borrow_mut().push((ctx.time().micros(), event.payload));
+                let mut budget = self.budget.borrow_mut();
+                let children = ctx.rng().next_u64() % 3;
+                for _ in 0..children {
+                    if *budget == 0 {
+                        return;
+                    }
+                    *budget -= 1;
+                    let delay = SimTime::from_micros((ctx.rng().next_u64() % 50) as f64);
+                    let payload = (ctx.rng().next_u64() % 1000) as u32;
+                    ctx.emit_self(delay, payload);
+                }
+            }
+        }
+        let run = |seed: u64| {
+            let trace = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+            let budget = std::rc::Rc::new(std::cell::RefCell::new(200u32));
+            let mut sim = Simulation::new(seed);
+            let a = sim.add_component(
+                "fanout",
+                Fanout { budget, trace: trace.clone() },
+            );
+            sim.schedule(SimTime::ZERO, a, 1u32);
+            let n = sim.step_until_no_events();
+            let out = (n, sim.time(), trace.borrow().clone());
+            out
+        };
+        let (n1, t1, trace1) = run(seed);
+        let (n2, t2, trace2) = run(seed);
+        prop_assert_eq!(n1, n2);
+        prop_assert_eq!(t1, t2);
+        prop_assert_eq!(trace1, trace2);
+    }
+}

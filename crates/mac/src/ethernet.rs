@@ -5,9 +5,69 @@
 //! every packet is transmitted once and there is no extra overhead." APs
 //! annotate the packets they forward with channel updates and loss reports
 //! (§7c), so no separate control traffic is needed.
+//!
+//! The hub carries an optional [`WireModel`] — propagation latency plus
+//! serialization delay at a finite bandwidth, with the wire busy while a
+//! packet serializes. The default model is the historical instantaneous one
+//! (zero latency, infinite bandwidth), so [`Hub::new`] behaves exactly as
+//! before; the discrete-event simulator (`iac-des`) builds hubs with
+//! [`Hub::with_model`] and uses [`Hub::broadcast_at`] to obtain per-packet
+//! delivery timestamps.
 
 use iac_linalg::CMat;
 use std::collections::VecDeque;
+
+/// Timing model for the wired backplane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireModel {
+    /// One-way propagation + switching latency, µs.
+    pub latency_us: f64,
+    /// Link bandwidth in Mbit/s; `f64::INFINITY` means instantaneous
+    /// serialization.
+    pub bandwidth_mbps: f64,
+}
+
+impl Default for WireModel {
+    /// The instantaneous wire the original simulation assumed.
+    fn default() -> Self {
+        Self {
+            latency_us: 0.0,
+            bandwidth_mbps: f64::INFINITY,
+        }
+    }
+}
+
+impl WireModel {
+    /// A switched-gigabit-Ethernet-ish model: 5 µs latency, 1000 Mbit/s.
+    pub fn gigabit() -> Self {
+        Self {
+            latency_us: 5.0,
+            bandwidth_mbps: 1000.0,
+        }
+    }
+
+    /// A 2009-era fast-Ethernet model: 20 µs latency, 100 Mbit/s.
+    pub fn fast_ethernet() -> Self {
+        Self {
+            latency_us: 20.0,
+            bandwidth_mbps: 100.0,
+        }
+    }
+
+    /// Time to clock `bytes` onto the wire, µs.
+    pub fn serialization_us(&self, bytes: usize) -> f64 {
+        if self.bandwidth_mbps.is_infinite() {
+            0.0
+        } else {
+            bytes as f64 * 8.0 / self.bandwidth_mbps
+        }
+    }
+
+    /// Serialization plus propagation for one packet on an idle wire, µs.
+    pub fn transfer_us(&self, bytes: usize) -> f64 {
+        self.serialization_us(bytes) + self.latency_us
+    }
+}
 
 /// Piggybacked control information on a forwarded packet (§7c).
 #[derive(Debug, Clone, PartialEq)]
@@ -68,42 +128,91 @@ impl WirePacket {
 /// An Ethernet hub with one inbox per AP.
 #[derive(Debug)]
 pub struct Hub {
-    inboxes: Vec<VecDeque<WirePacket>>,
+    inboxes: Vec<VecDeque<(f64, WirePacket)>>,
+    model: WireModel,
+    busy_until_us: f64,
     bytes_broadcast: u64,
     packets_broadcast: u64,
 }
 
 impl Hub {
-    /// A hub wiring `n_aps` access points together.
+    /// A hub wiring `n_aps` access points together, with the historical
+    /// instantaneous wire (zero latency, infinite bandwidth).
     pub fn new(n_aps: usize) -> Self {
+        Self::with_model(n_aps, WireModel::default())
+    }
+
+    /// A hub with an explicit wire-timing model.
+    pub fn with_model(n_aps: usize, model: WireModel) -> Self {
         assert!(n_aps >= 1, "a hub needs at least one port");
         Self {
             inboxes: (0..n_aps).map(|_| VecDeque::new()).collect(),
+            model,
+            busy_until_us: 0.0,
             bytes_broadcast: 0,
             packets_broadcast: 0,
         }
     }
 
+    /// The hub's wire-timing model.
+    pub fn model(&self) -> WireModel {
+        self.model
+    }
+
     /// Broadcast a packet: it appears once on the wire (hub semantics) and
-    /// lands in every inbox except the sender's.
+    /// lands in every inbox except the sender's. Timing-oblivious variant:
+    /// the packet is handed to the wire as soon as it is free.
     pub fn broadcast(&mut self, packet: WirePacket) {
+        let now = self.busy_until_us;
+        self.broadcast_at(packet, now);
+    }
+
+    /// Broadcast a packet handed to the hub at simulated time `now_us`.
+    /// Returns the delivery timestamp at the other ports: the wire is a
+    /// shared medium, so the packet first waits for any in-flight
+    /// serialization, then serializes at the model's bandwidth, then
+    /// propagates.
+    pub fn broadcast_at(&mut self, packet: WirePacket, now_us: f64) -> f64 {
+        let deliver = self.broadcast_unbuffered_at(&packet, now_us);
+        for (ap, inbox) in self.inboxes.iter_mut().enumerate() {
+            if ap != packet.from_ap as usize {
+                inbox.push_back((deliver, packet.clone()));
+            }
+        }
+        deliver
+    }
+
+    /// Like [`Hub::broadcast_at`] — same wire occupancy, accounting, and
+    /// returned delivery timestamp — but nothing is retained in any inbox.
+    /// For callers that model delivery themselves (the discrete-event
+    /// simulator emits its own delivery events rather than polling inboxes),
+    /// the mailbox copies would only accumulate unread.
+    pub fn broadcast_unbuffered_at(&mut self, packet: &WirePacket, now_us: f64) -> f64 {
         assert!(
             (packet.from_ap as usize) < self.inboxes.len(),
             "unknown source AP {}",
             packet.from_ap
         );
+        let start = now_us.max(self.busy_until_us);
+        self.busy_until_us = start + self.model.serialization_us(packet.wire_bytes());
+        let deliver = self.busy_until_us + self.model.latency_us;
         self.bytes_broadcast += packet.wire_bytes() as u64;
         self.packets_broadcast += 1;
-        for (ap, inbox) in self.inboxes.iter_mut().enumerate() {
-            if ap != packet.from_ap as usize {
-                inbox.push_back(packet.clone());
-            }
-        }
+        deliver
     }
 
-    /// Drain one AP's inbox.
+    /// Drain one AP's inbox regardless of delivery time (the pre-latency
+    /// behaviour: "enough time has passed").
     pub fn drain(&mut self, ap: u16) -> Vec<WirePacket> {
-        self.inboxes[ap as usize].drain(..).collect()
+        self.inboxes[ap as usize].drain(..).map(|(_, p)| p).collect()
+    }
+
+    /// Drain only the packets that have *arrived* at `ap` by `now_us`.
+    /// Inboxes are in delivery-time order, so this takes a prefix.
+    pub fn drain_ready(&mut self, ap: u16, now_us: f64) -> Vec<WirePacket> {
+        let inbox = &mut self.inboxes[ap as usize];
+        let ready = inbox.iter().take_while(|(t, _)| *t <= now_us).count();
+        inbox.drain(..ready).map(|(_, p)| p).collect()
     }
 
     /// Total bytes that crossed the wire.
@@ -199,5 +308,65 @@ mod tests {
     fn unknown_ap_rejected() {
         let mut hub = Hub::new(2);
         hub.broadcast(pkt(5, 0));
+    }
+
+    #[test]
+    fn default_wire_is_instantaneous() {
+        let mut hub = Hub::new(2);
+        let deliver = hub.broadcast_at(pkt(0, 1), 100.0);
+        assert_eq!(deliver, 100.0);
+        assert_eq!(hub.drain_ready(1, 100.0).len(), 1);
+    }
+
+    #[test]
+    fn wire_model_adds_latency_and_serialization() {
+        // 100 Mbit/s, 20 µs latency: a 1506-byte wire packet serializes in
+        // 1506·8/100 = 120.48 µs.
+        let mut hub = Hub::with_model(3, WireModel::fast_ethernet());
+        let d1 = hub.broadcast_at(pkt(0, 1), 0.0);
+        assert!((d1 - (120.48 + 20.0)).abs() < 1e-9, "got {d1}");
+        // The second packet queues behind the first's serialization.
+        let d2 = hub.broadcast_at(pkt(1, 2), 0.0);
+        assert!((d2 - (2.0 * 120.48 + 20.0)).abs() < 1e-9, "got {d2}");
+    }
+
+    #[test]
+    fn drain_ready_respects_delivery_times() {
+        let mut hub = Hub::with_model(2, WireModel::gigabit());
+        let d1 = hub.broadcast_at(pkt(0, 1), 0.0);
+        let d2 = hub.broadcast_at(pkt(0, 2), 0.0);
+        assert!(d2 > d1);
+        assert!(hub.drain_ready(1, d1 - 0.001).is_empty());
+        assert_eq!(hub.drain_ready(1, d1).len(), 1);
+        assert_eq!(hub.drain_ready(1, d2).len(), 1);
+        assert!(hub.drain_ready(1, d2).is_empty());
+    }
+
+    #[test]
+    fn unbuffered_broadcast_prices_without_retaining() {
+        let mut hub = Hub::with_model(3, WireModel::fast_ethernet());
+        let buffered = {
+            let mut h = Hub::with_model(3, WireModel::fast_ethernet());
+            h.broadcast_at(pkt(0, 1), 0.0)
+        };
+        let d = hub.broadcast_unbuffered_at(&pkt(0, 1), 0.0);
+        assert_eq!(d, buffered, "same timing as the buffered variant");
+        assert_eq!(hub.packets_broadcast(), 1);
+        assert_eq!(hub.bytes_broadcast(), 1506);
+        for ap in 0..3 {
+            assert!(hub.drain(ap).is_empty(), "inbox {ap} must stay empty");
+        }
+        // The wire is still occupied: the next packet queues behind it.
+        let d2 = hub.broadcast_unbuffered_at(&pkt(1, 2), 0.0);
+        assert!(d2 > d);
+    }
+
+    #[test]
+    fn idle_wire_resumes_at_hand_off_time() {
+        let mut hub = Hub::with_model(2, WireModel::gigabit());
+        let d1 = hub.broadcast_at(pkt(0, 1), 0.0);
+        // Handed over long after the wire went idle: no queueing.
+        let d2 = hub.broadcast_at(pkt(0, 2), 10_000.0);
+        assert!((d2 - (10_000.0 + (d1 - 0.0))).abs() < 1e-9, "d1={d1} d2={d2}");
     }
 }

@@ -15,21 +15,26 @@
 //! * [`ethernet`] — the hub backplane: every decoded packet is broadcast
 //!   exactly once to the other APs (§7d), annotated with channel updates and
 //!   loss reports.
-//! * [`queue`] — per-direction FIFO traffic queues.
+//! * [`queue`] — per-direction FIFO traffic queues, optionally bounded with
+//!   tail-drop counting.
+//! * [`airtime`] — frame-size → on-air-duration accounting for the
+//!   discrete-event simulator (`iac-des`).
 //! * [`concurrency`] — the three grouping policies of §7.2/§10.3: brute
 //!   force, FIFO order, and best-of-two-choices with credit counters.
 //! * [`pcf`] — the CFP/CP protocol simulation gluing it together, generic
 //!   over a PHY outcome model so it can run against the matrix-level decoder
 //!   or a stub.
 
+pub mod airtime;
 pub mod concurrency;
 pub mod ethernet;
 pub mod frames;
 pub mod pcf;
 pub mod queue;
 
+pub use airtime::Airtime;
 pub use concurrency::{BestOfTwo, BruteForce, FifoPolicy, GroupPolicy};
-pub use ethernet::{Annotation, Hub, WirePacket};
+pub use ethernet::{Annotation, Hub, WireModel, WirePacket};
 pub use frames::{Beacon, CfEnd, DataPoll, DataReqHeader, Grant, MacFrame, PollEntry, VectorQ};
-pub use pcf::{PacketResult, PcfConfig, PcfSim, PhyOutcome};
+pub use pcf::{form_group, GroupPlan, PacketResult, PcfConfig, PcfSim, PhyOutcome};
 pub use queue::{QueuedPacket, TrafficQueue};

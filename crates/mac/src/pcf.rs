@@ -25,7 +25,7 @@ use crate::ethernet::{Hub, WirePacket};
 use crate::frames::{Beacon, CfEnd, DataPoll, Grant, MacFrame, PollEntry, VectorQ};
 use crate::queue::{QueuedPacket, TrafficQueue};
 use iac_linalg::{CVec, Rng64};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Result of one packet inside a transmission group.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -132,8 +132,12 @@ pub struct PcfSim<P: PhyOutcome> {
     /// Uplink packets decoded this CFP, acked in the next beacon.
     pending_acks: Vec<(u16, u16)>,
     /// Uplink packets sent but not yet acked: client re-requests on silence.
-    awaiting_ack: HashMap<(u16, u16), QueuedPacket>,
-    retx_count: HashMap<(u16, u16), u8>,
+    /// BTreeMap, not HashMap: its drain order feeds the retransmission queue,
+    /// and that order must be run-independent for reproducibility.
+    awaiting_ack: BTreeMap<(u16, u16), QueuedPacket>,
+    /// Retransmission attempts by (client, seq, uplink) — the direction flag
+    /// keeps a client's uplink and downlink packets with equal seqs apart.
+    retx_count: HashMap<(u16, u16, bool), u8>,
     cfp_id: u16,
     /// Running statistics.
     pub stats: PcfStats,
@@ -145,6 +149,74 @@ pub struct PcfSim<P: PhyOutcome> {
 /// Leader-side predictor of a candidate group's rate: `(group, is_downlink)`
 /// in, predicted aggregate rate out.
 pub type GroupScorer = Box<dyn FnMut(&[u16], bool) -> f64>;
+
+/// One transmission group popped from a queue: `packets[i]` is carried by
+/// `clients[i]`. Clients repeat when `streams_per_client > 1` (a client
+/// spatially multiplexing several packets in the same airtime, as in plain
+/// 802.11-MIMO).
+#[derive(Debug, Clone)]
+pub struct GroupPlan {
+    /// One entry per packet, in service order.
+    pub clients: Vec<u16>,
+    /// The packets, aligned with `clients`.
+    pub packets: Vec<QueuedPacket>,
+}
+
+impl GroupPlan {
+    /// Distinct clients in first-appearance order (what a DATA+Poll or Grant
+    /// frame carries one entry for).
+    pub fn unique_clients(&self) -> Vec<u16> {
+        let mut seen = Vec::new();
+        for &c in &self.clients {
+            if !seen.contains(&c) {
+                seen.push(c);
+            }
+        }
+        seen
+    }
+}
+
+/// Assemble one transmission group from `queue`: anchor on the FIFO head
+/// (starvation rule, §7.2), let `policy` pick up to `group_size − 1`
+/// companions, then pop up to `streams_per_client` packets per grouped
+/// client. Returns `None` when the queue is empty. Shared by the slot-level
+/// [`PcfSim`] and the event-driven MAC in `iac-des`.
+pub fn form_group(
+    queue: &mut TrafficQueue,
+    policy: &mut dyn GroupPolicy,
+    score: &mut dyn FnMut(&[u16]) -> f64,
+    group_size: usize,
+    streams_per_client: usize,
+    rng: &mut Rng64,
+) -> Option<GroupPlan> {
+    let head = queue.head()?;
+    let candidates: Vec<u16> = queue
+        .clients()
+        .into_iter()
+        .filter(|&c| c != head.client)
+        .collect();
+    let companions = policy.select(
+        head.client,
+        &candidates,
+        group_size.saturating_sub(1),
+        score,
+        rng,
+    );
+    let mut group_clients = vec![head.client];
+    group_clients.extend(companions);
+    let mut clients = Vec::new();
+    let mut packets = Vec::new();
+    for &c in &group_clients {
+        for _ in 0..streams_per_client.max(1) {
+            let Some(p) = queue.pop_for_client(c) else {
+                break;
+            };
+            clients.push(c);
+            packets.push(p);
+        }
+    }
+    Some(GroupPlan { clients, packets })
+}
 
 impl<P: PhyOutcome> PcfSim<P> {
     /// Build a simulation.
@@ -164,7 +236,7 @@ impl<P: PhyOutcome> PcfSim<P> {
             uplink_queue: TrafficQueue::new(),
             hub,
             pending_acks: Vec::new(),
-            awaiting_ack: HashMap::new(),
+            awaiting_ack: BTreeMap::new(),
             retx_count: HashMap::new(),
             cfp_id: 0,
             stats: PcfStats::default(),
@@ -234,9 +306,10 @@ impl<P: PhyOutcome> PcfSim<P> {
                 *self.stats.per_client_delivered.entry(client).or_insert(0) += 1;
             }
         }
-        let unacked: Vec<QueuedPacket> = self.awaiting_ack.drain().map(|(_, p)| p).collect();
+        let unacked: Vec<QueuedPacket> =
+            std::mem::take(&mut self.awaiting_ack).into_values().collect();
         for p in unacked {
-            let tries = self.retx_count.entry((p.client, p.seq)).or_insert(0);
+            let tries = self.retx_count.entry((p.client, p.seq, true)).or_insert(0);
             *tries += 1;
             if *tries > self.config.retx_limit {
                 self.stats.dropped += 1;
@@ -249,47 +322,33 @@ impl<P: PhyOutcome> PcfSim<P> {
         // 2. Downlink groups.
         let mut downlink_results = Vec::new();
         for _ in 0..self.config.max_groups_per_cfp {
-            let Some(head_packet) = self.downlink_queue.head() else {
-                break;
-            };
-            let candidates: Vec<u16> = self
-                .downlink_queue
-                .clients()
-                .into_iter()
-                .filter(|&c| c != head_packet.client)
-                .collect();
             let scorer = &mut self.scorer;
             let mut score = |group: &[u16]| (scorer)(group, true);
-            let companions = self.downlink_policy.select(
-                head_packet.client,
-                &candidates,
-                self.config.group_size - 1,
+            let Some(plan) = form_group(
+                &mut self.downlink_queue,
+                self.downlink_policy.as_mut(),
                 &mut score,
+                self.config.group_size,
+                1,
                 rng,
-            );
-            let mut group_clients = vec![head_packet.client];
-            group_clients.extend(companions);
-            // Pop one packet per grouped client.
-            let mut packets = Vec::new();
-            for &c in &group_clients {
-                if let Some(p) = self.downlink_queue.pop_for_client(c) {
-                    packets.push(p);
-                }
-            }
+            ) else {
+                break;
+            };
             groups += 1;
             // DATA+Poll broadcast.
             let poll = MacFrame::DataPoll(DataPoll {
                 fid: self.cfp_id.wrapping_mul(64).wrapping_add(groups as u16),
                 n_aps: self.config.n_aps as u8,
                 max_len: self.config.payload_bytes as u16,
-                entries: group_clients
-                    .iter()
-                    .map(|&c| Self::placeholder_entry(c))
+                entries: plan
+                    .unique_clients()
+                    .into_iter()
+                    .map(Self::placeholder_entry)
                     .collect(),
             });
             self.control_frame(&poll);
             // Concurrent data + synchronous client acks.
-            let results = self.phy.downlink_group(&group_clients, rng);
+            let results = self.phy.downlink_group(&plan.clients, rng);
             for r in &results {
                 self.stats.data_bytes += self.config.payload_bytes as u64;
                 if r.ok {
@@ -304,8 +363,8 @@ impl<P: PhyOutcome> PcfSim<P> {
                 } else {
                     // Missing client ack → the serving AP asks the leader
                     // for a retransmission (§7.1a).
-                    if let Some(p) = packets.iter().find(|p| p.client == r.client) {
-                        let tries = self.retx_count.entry((p.client, p.seq)).or_insert(0);
+                    if let Some(p) = plan.packets.iter().find(|p| p.client == r.client) {
+                        let tries = self.retx_count.entry((p.client, p.seq, false)).or_insert(0);
                         *tries += 1;
                         if *tries > self.config.retx_limit {
                             self.stats.dropped += 1;
@@ -321,46 +380,34 @@ impl<P: PhyOutcome> PcfSim<P> {
         // 3. Uplink groups.
         let mut uplink_results = Vec::new();
         for _ in 0..self.config.max_groups_per_cfp {
-            let Some(head_packet) = self.uplink_queue.head() else {
-                break;
-            };
-            let candidates: Vec<u16> = self
-                .uplink_queue
-                .clients()
-                .into_iter()
-                .filter(|&c| c != head_packet.client)
-                .collect();
             let scorer = &mut self.scorer;
             let mut score = |group: &[u16]| (scorer)(group, false);
-            let companions = self.uplink_policy.select(
-                head_packet.client,
-                &candidates,
-                self.config.group_size - 1,
+            let Some(plan) = form_group(
+                &mut self.uplink_queue,
+                self.uplink_policy.as_mut(),
                 &mut score,
+                self.config.group_size,
+                1,
                 rng,
-            );
-            let mut group_clients = vec![head_packet.client];
-            group_clients.extend(companions);
-            let mut packets = Vec::new();
-            for &c in &group_clients {
-                if let Some(p) = self.uplink_queue.pop_for_client(c) {
-                    packets.push(p);
-                }
-            }
+            ) else {
+                break;
+            };
             groups += 1;
             let grant = MacFrame::Grant(Grant {
                 fid: self.cfp_id.wrapping_mul(64).wrapping_add(32 + groups as u16),
                 n_aps: self.config.n_aps as u8,
-                entries: group_clients
-                    .iter()
-                    .map(|&c| Self::placeholder_entry(c))
+                entries: plan
+                    .unique_clients()
+                    .into_iter()
+                    .map(Self::placeholder_entry)
                     .collect(),
             });
             self.control_frame(&grant);
-            let results = self.phy.uplink_group(&group_clients, rng);
+            let results = self.phy.uplink_group(&plan.clients, rng);
             for r in &results {
                 self.stats.data_bytes += self.config.payload_bytes as u64;
-                let packet = packets
+                let packet = plan
+                    .packets
                     .iter()
                     .find(|p| p.client == r.client)
                     .copied()

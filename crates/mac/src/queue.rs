@@ -18,26 +18,64 @@ pub struct QueuedPacket {
 }
 
 /// A FIFO of pending packets with client-indexed helpers.
+///
+/// Optionally bounded: [`TrafficQueue::with_capacity`] sets a hard limit on
+/// pending packets and tail-drops (with counting) beyond it, so arrival
+/// processes can overflow the leader realistically. [`TrafficQueue::new`]
+/// remains unbounded, preserving the original saturated-queue behaviour.
 #[derive(Debug, Clone, Default)]
 pub struct TrafficQueue {
     q: VecDeque<QueuedPacket>,
+    capacity: Option<usize>,
+    dropped: u64,
 }
 
 impl TrafficQueue {
-    /// Empty queue.
+    /// Empty, unbounded queue.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Append a packet.
-    pub fn push(&mut self, p: QueuedPacket) {
+    /// Empty queue holding at most `capacity` packets; further pushes are
+    /// tail-dropped and counted.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            q: VecDeque::new(),
+            capacity: Some(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Append a packet. Returns `false` (and counts a drop) if the queue is
+    /// at capacity — tail-drop, the arriving packet is discarded.
+    pub fn push(&mut self, p: QueuedPacket) -> bool {
+        if let Some(cap) = self.capacity {
+            if self.q.len() >= cap {
+                self.dropped += 1;
+                return false;
+            }
+        }
         self.q.push_back(p);
+        true
     }
 
     /// Put a packet back at the *front* (retransmission priority: the lost
     /// packet re-enters as the next head so the client is not starved).
+    /// Deliberately bypasses the capacity bound — the packet already held a
+    /// slot when it was first admitted, so a retransmission is never the
+    /// packet that overflows the queue.
     pub fn push_front(&mut self, p: QueuedPacket) {
         self.q.push_front(p);
+    }
+
+    /// The capacity bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Packets tail-dropped because the queue was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// The head packet, if any.
@@ -137,6 +175,43 @@ mod tests {
         assert_eq!(got.seq, 7);
         assert_eq!(q.len(), 2);
         assert!(q.pop_for_client(42).is_none());
+    }
+
+    #[test]
+    fn bounded_queue_tail_drops_and_counts() {
+        let mut q = TrafficQueue::with_capacity(2);
+        assert_eq!(q.capacity(), Some(2));
+        assert!(q.push(p(1, 1)));
+        assert!(q.push(p(2, 1)));
+        assert!(!q.push(p(3, 1)), "third push should tail-drop");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dropped(), 1);
+        // The survivors are the two earliest arrivals (tail-drop, not head).
+        assert_eq!(q.pop().unwrap().client, 1);
+        // A freed slot admits traffic again.
+        assert!(q.push(p(4, 1)));
+        assert_eq!(q.dropped(), 1);
+    }
+
+    #[test]
+    fn retransmission_bypasses_capacity() {
+        let mut q = TrafficQueue::with_capacity(1);
+        assert!(q.push(p(1, 1)));
+        q.push_front(p(9, 9)); // retransmission re-entry is never dropped
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dropped(), 0);
+        assert_eq!(q.head().unwrap().client, 9);
+    }
+
+    #[test]
+    fn unbounded_queue_never_drops() {
+        let mut q = TrafficQueue::new();
+        assert_eq!(q.capacity(), None);
+        for k in 0..10_000 {
+            assert!(q.push(p(1, k)));
+        }
+        assert_eq!(q.dropped(), 0);
+        assert_eq!(q.len(), 10_000);
     }
 
     #[test]

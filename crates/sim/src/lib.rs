@@ -17,14 +17,23 @@
 //!   practicality experiments.
 //! * [`scenarios`] — one module per paper artifact: Figs. 12, 13a/b, 14,
 //!   15a/b, 16, the Lemma 5.1/5.2 bound checks, the §6 claims, the §7e
-//!   overhead accounting, and the Fig. 17 clustered-mesh extension.
+//!   overhead accounting, and the Fig. 17 clustered-mesh extension — plus
+//!   the time-domain scenarios built on `iac-des` (dynamic-arrival campus
+//!   uplink with churn; the offered-load latency sweep).
+//! * [`netsim`] — plumbing for the time-domain scenarios: the calibrated
+//!   SINR-pool PHY and the declarative component-graph builder.
+//! * [`metrics`] — latency CDFs, sliding-window throughput, Jain fairness
+//!   over a discrete-event run's raw records.
 
 pub mod experiment;
+pub mod metrics;
+pub mod netsim;
 pub mod samplelevel;
 pub mod scenarios;
 pub mod stats;
 pub mod testbed;
 
 pub use experiment::{ExperimentConfig, ScatterPoint};
+pub use netsim::{CalibratedPhy, NetSim, NetSimOutcome, SourceSpec};
 pub use stats::{cdf_points, mean, Summary};
 pub use testbed::Testbed;

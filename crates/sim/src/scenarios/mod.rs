@@ -5,6 +5,8 @@
 
 pub mod ablations;
 pub mod clustered;
+pub mod des_campus;
+pub mod des_load;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;

@@ -16,9 +16,13 @@
 //! * [`core`] — alignment solvers (closed-form and iterative), decode
 //!   schedules, the cross-AP decoder, feasibility bounds, the 802.11-MIMO
 //!   baseline and the diversity option search.
-//! * [`mac`] — wire formats, the Ethernet hub, traffic queues, concurrency
+//! * [`mac`] — wire formats, the Ethernet hub (with an optional wire-timing
+//!   model), bounded traffic queues, airtime accounting, concurrency
 //!   policies, and the extended-PCF protocol simulation.
-//! * [`sim`] — the testbed and the per-figure experiment scenarios.
+//! * [`des`] — the deterministic discrete-event engine: simulated time,
+//!   stochastic traffic sources, and the event-driven extended-PCF MAC.
+//! * [`sim`] — the testbed, the per-figure experiment scenarios, and the
+//!   time-domain (latency/churn/offered-load) scenarios.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +52,7 @@
 
 pub use iac_channel as channel;
 pub use iac_core as core;
+pub use iac_des as des;
 pub use iac_linalg as linalg;
 pub use iac_mac as mac;
 pub use iac_phy as phy;
@@ -63,6 +68,7 @@ pub mod prelude {
     pub use iac_core::optimize;
     pub use iac_core::schedule::DecodeSchedule;
     pub use iac_core::solver::{AlignmentProblem, SolverConfig};
+    pub use iac_des::{EventPcf, EventPcfConfig, SimTime, Simulation};
     pub use iac_linalg::{C64, CMat, CVec, Rng64};
     pub use iac_sim::experiment::ExperimentConfig;
     pub use iac_sim::Testbed;
