@@ -1,83 +1,24 @@
 //! Criterion micro-benchmarks for the §9 complexity discussion: precoding,
-//! projection, cancellation and the alignment solvers as functions of the
-//! antenna count.
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use iac_core::grid::{ChannelGrid, Direction};
-use iac_core::schedule::DecodeSchedule;
-use iac_core::solver::{AlignmentProblem, SolverConfig};
-use iac_core::{closed_form, optimize};
-use iac_linalg::{CMat, CVec, Rng64};
-use iac_phy::precode::precode;
-use iac_phy::project::combine;
+//! projection, cancellation, the planned FFT, and the alignment solvers as
+//! functions of the antenna count.
+//!
+//! The workloads live in `iac_bench::micro` so the `baseline` binary can run
+//! the identical closures for regression gating; this target is the
+//! full-measurement human-readable front-end. Set `CRITERION_JSON=<path>` to
+//! also merge per-target medians into a flat JSON map.
+use criterion::{criterion_group, criterion_main, Criterion};
+use iac_bench::micro::{register_alignment, register_linalg, register_sample_ops};
 
 fn bench_alignment(c: &mut Criterion) {
-    let mut group = c.benchmark_group("alignment");
-    let mut rng = Rng64::new(1);
-    let grid3 = ChannelGrid::random(Direction::Uplink, 3, 3, 2, 2, &mut rng);
-    group.bench_function("uplink4_closed_form_2x2", |b| {
-        let mut r = Rng64::new(2);
-        b.iter(|| closed_form::uplink4(&grid3, &mut r).unwrap())
-    });
-    group.bench_function("uplink4_optimized_2x2", |b| {
-        b.iter(|| optimize::uplink4_optimized(&grid3, 1.0, 0.05).unwrap())
-    });
-    for m in [3usize, 4] {
-        let schedule = DecodeSchedule::uplink_2m(m);
-        let clients = schedule.owners.iter().max().unwrap() + 1;
-        let g = ChannelGrid::random(Direction::Uplink, clients, 3, m, m, &mut rng);
-        group.bench_with_input(
-            BenchmarkId::new("leakage_solver_uplink_2m", m),
-            &m,
-            |b, _| {
-                b.iter(|| {
-                    let mut r = Rng64::new(3);
-                    AlignmentProblem {
-                        grid: &g,
-                        schedule: &schedule,
-                    }
-                    .solve(
-                        &SolverConfig {
-                            max_iters: 400,
-                            tolerance: 1e-6,
-                            restarts: 1,
-                        },
-                        &mut r,
-                    )
-                    .unwrap()
-                })
-            },
-        );
-    }
-    group.finish();
+    register_alignment(c);
 }
 
 fn bench_sample_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sample_ops");
-    let mut rng = Rng64::new(4);
-    let samples: Vec<_> = (0..12_000).map(|_| rng.cn01()).collect();
-    let v = CVec::random_unit(2, &mut rng);
-    group.bench_function("precode_12k_samples", |b| {
-        b.iter(|| precode(&samples, &v, 1.0))
-    });
-    let streams = precode(&samples, &v, 1.0);
-    group.bench_function("project_12k_samples", |b| b.iter(|| combine(&streams, &v)));
-    group.finish();
+    register_sample_ops(c);
 }
 
 fn bench_linalg(c: &mut Criterion) {
-    let mut group = c.benchmark_group("linalg");
-    let mut rng = Rng64::new(5);
-    for m in [2usize, 4, 6] {
-        let a = CMat::random(m, m, &mut rng);
-        group.bench_with_input(BenchmarkId::new("inverse", m), &m, |b, _| {
-            b.iter(|| a.inverse().unwrap())
-        });
-        let h = a.mul_mat(&a.hermitian());
-        group.bench_with_input(BenchmarkId::new("eigh", m), &m, |b, _| {
-            b.iter(|| iac_linalg::eigh(&h).unwrap())
-        });
-    }
-    group.finish();
+    register_linalg(c);
 }
 
 criterion_group! {

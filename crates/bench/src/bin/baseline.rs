@@ -1,0 +1,162 @@
+//! Record or check the committed benchmark baselines.
+//!
+//! ```text
+//! baseline record [--dir <repo-root>]
+//! baseline check  [--dir <repo-root>] [--threshold 0.25] [--allow-missing]
+//! ```
+//!
+//! `record` re-measures the registered micro/sample-plane workloads at quick
+//! scale and overwrites `BENCH_micro_ops.json` + `BENCH_sample_ops.json` at
+//! the repo root. `check` re-measures into temporary files and fails (exit
+//! code 1) if any target's median regressed more than the threshold
+//! (`--threshold`, or the `IAC_BASELINE_THRESHOLD` environment variable,
+//! default 0.25 = 25 %) against the committed files. See
+//! `docs/PERFORMANCE.md`.
+
+use iac_bench::baseline::{compare, measure, suites, ungated, DEFAULT_THRESHOLD};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: baseline <record|check> [--dir <repo-root>] [--threshold <fraction>] [--allow-missing]"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    record: bool,
+    dir: PathBuf,
+    threshold: f64,
+    /// Report baseline targets the current build no longer measures as
+    /// warnings instead of failures (for CI flows that re-record the
+    /// baseline from a base commit: a PR must be able to retire a target).
+    allow_missing: bool,
+}
+
+fn parse_args() -> Args {
+    // Default repo root: two levels above this crate's manifest.
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    let mut threshold = std::env::var("IAC_BASELINE_THRESHOLD")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_THRESHOLD);
+    let mut record = None;
+    let mut allow_missing = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "record" => record = Some(true),
+            "check" => record = Some(false),
+            "--dir" => dir = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--threshold" => {
+                threshold = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--allow-missing" => allow_missing = true,
+            _ => usage(),
+        }
+    }
+    let Some(record) = record else { usage() };
+    assert!(
+        threshold >= 0.0 && threshold.is_finite(),
+        "threshold must be a non-negative fraction"
+    );
+    Args {
+        record,
+        dir,
+        threshold,
+        allow_missing,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut failures = 0usize;
+    for suite in suites() {
+        let committed = args.dir.join(suite.file);
+        if args.record {
+            println!("== recording {} ==", committed.display());
+            let entries = measure(&suite, &committed).expect("measurement failed");
+            println!("   {} targets recorded", entries.len());
+            continue;
+        }
+        println!("== checking against {} ==", committed.display());
+        let text = std::fs::read_to_string(&committed).unwrap_or_else(|e| {
+            panic!(
+                "cannot read baseline {} ({e}); run `baseline record` first",
+                committed.display()
+            )
+        });
+        let baseline = criterion::json::parse_flat_map(&text)
+            .unwrap_or_else(|| panic!("{} is not a flat JSON map", committed.display()));
+        // Per-process scratch path: concurrent checks must not share a file.
+        let scratch = std::env::temp_dir().join(format!(
+            "iac-baseline-{}-{}",
+            std::process::id(),
+            suite.file
+        ));
+        let mut measured = measure(&suite, &scratch).expect("measurement failed");
+        // A transient load spike inflates a whole 300 ms window; a genuine
+        // regression reproduces. On any failure, re-measure once and keep
+        // the per-target best, so only repeatable slowdowns fail the gate.
+        if compare(&baseline, &measured)
+            .iter()
+            .any(|c| c.failed(args.threshold))
+        {
+            println!("   (regression candidate — re-measuring once to filter load noise)");
+            let second = measure(&suite, &scratch).expect("measurement failed");
+            for (target, ns) in measured.iter_mut() {
+                if let Some((_, ns2)) = second.iter().find(|(t, _)| t == target) {
+                    *ns = ns.min(*ns2);
+                }
+            }
+        }
+        let _ = std::fs::remove_file(&scratch);
+        for c in compare(&baseline, &measured) {
+            let verdict = match (c.delta, c.failed(args.threshold)) {
+                (Some(d), true) => {
+                    failures += 1;
+                    format!("REGRESSED {:+.1}%", d * 100.0)
+                }
+                (Some(d), false) => format!("ok {:+.1}%", d * 100.0),
+                (None, _) if args.allow_missing => {
+                    "MISSING (tolerated by --allow-missing)".to_string()
+                }
+                (None, _) => {
+                    failures += 1;
+                    "MISSING (target no longer measured)".to_string()
+                }
+            };
+            let measured_ns = c
+                .measured_ns
+                .map_or("-".to_string(), |ns| format!("{ns:.0}"));
+            println!(
+                "   {:<42} base {:>10.0} ns | now {:>10} ns | {verdict}",
+                c.target, c.baseline_ns, measured_ns
+            );
+        }
+        for t in ungated(&baseline, &measured) {
+            println!("   {t:<42} NEW (not gated; run `baseline record` to gate it)");
+        }
+    }
+    if args.record {
+        return ExitCode::SUCCESS;
+    }
+    if failures > 0 {
+        eprintln!(
+            "baseline check FAILED: {failures} target(s) beyond the {:.0}% threshold",
+            args.threshold * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "baseline check passed (threshold {:.0}%)",
+        args.threshold * 100.0
+    );
+    ExitCode::SUCCESS
+}

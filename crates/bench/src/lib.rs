@@ -6,8 +6,15 @@
 //!
 //! Scale control: set `IAC_BENCH_SCALE=quick|paper` (default `paper`).
 //! `quick` shrinks pick/slot counts ~10× for smoke runs.
+//!
+//! The [`micro`] module is the shared §9 micro-benchmark registry and
+//! [`baseline`] the regression harness behind the `baseline` binary and the
+//! committed `BENCH_*.json` files (see `docs/PERFORMANCE.md`).
 
 use iac_sim::experiment::ExperimentConfig;
+
+pub mod baseline;
+pub mod micro;
 
 /// Bench scale selected via the `IAC_BENCH_SCALE` environment variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

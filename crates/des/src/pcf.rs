@@ -117,6 +117,9 @@ pub struct EventPcf<P: PhyOutcome> {
     /// Retransmission attempts by (client, seq, uplink) — the direction flag
     /// keeps a client's uplink and downlink packets with equal seqs apart.
     retx_count: HashMap<(u16, u16, bool), u8>,
+    /// Reused per-beacon scratch for the unacked-packet sweep (capacity
+    /// survives across CFPs, so the steady state does not allocate).
+    retx_scratch: Vec<QueuedPacket>,
     phase: Phase,
     groups_this_phase: usize,
     cfp_id: u16,
@@ -154,6 +157,7 @@ impl<P: PhyOutcome> EventPcf<P> {
             pending_acks: Vec::new(),
             awaiting_ack: BTreeMap::new(),
             retx_count: HashMap::new(),
+            retx_scratch: Vec::new(),
             phase: Phase::Idle,
             groups_this_phase: 0,
             cfp_id: 0,
@@ -213,14 +217,22 @@ impl<P: PhyOutcome> EventPcf<P> {
             });
         });
 
-        let beacon_acks: Vec<(u16, u16)> = std::mem::take(&mut self.pending_acks);
+        // The ACK-map vec moves into the frame for pricing and is reclaimed
+        // afterwards (no clone; its capacity returns to `pending_acks`).
         let beacon = MacFrame::Beacon(Beacon {
             cfp_id: self.cfp_id,
             duration_slots: 0, // varies per CFP (§7.1a); accounted in time, not here
-            ack_map: beacon_acks.clone(),
+            ack_map: std::mem::take(&mut self.pending_acks),
         });
         let beacon_bytes = self.control_frame(&beacon);
         let beacon_air = SimTime::from_micros(self.cfg.airtime.ctrl_us(beacon_bytes));
+        let MacFrame::Beacon(Beacon {
+            ack_map: mut beacon_acks,
+            ..
+        }) = beacon
+        else {
+            unreachable!("beacon frame was just constructed")
+        };
 
         // Clients hear the ACK map when the beacon completes: confirmed
         // uplink packets count as delivered at that instant.
@@ -230,10 +242,12 @@ impl<P: PhyOutcome> EventPcf<P> {
                 self.record_delivery(client, seq, true, delivered_us);
             }
         }
+        beacon_acks.clear();
+        self.pending_acks = beacon_acks;
         // Silence means loss: clients re-request (head of queue) or give up.
-        let unacked: Vec<QueuedPacket> =
-            std::mem::take(&mut self.awaiting_ack).into_values().collect();
-        for p in unacked {
+        let mut unacked = std::mem::take(&mut self.retx_scratch);
+        unacked.extend(std::mem::take(&mut self.awaiting_ack).into_values());
+        for p in unacked.drain(..) {
             let tries = self.retx_count.entry((p.client, p.seq, true)).or_insert(0);
             *tries += 1;
             if *tries > self.cfg.protocol.retx_limit {
@@ -242,6 +256,7 @@ impl<P: PhyOutcome> EventPcf<P> {
                 self.uplink_queue.push_front(p);
             }
         }
+        self.retx_scratch = unacked;
         ctx.emit_self(beacon_air, NetEvent::BeaconDone);
     }
 

@@ -60,11 +60,26 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty queue with room for `capacity` pending events, so the heap
+    /// and the live set do not re-allocate while the simulation warms up.
+    /// A good hint is the expected peak of concurrently scheduled events
+    /// (components × pending self-ticks), not the total event count.
+    pub fn with_capacity(capacity: usize) -> Self {
         Self {
-            heap: BinaryHeap::new(),
-            live: HashSet::new(),
+            heap: BinaryHeap::with_capacity(capacity),
+            live: HashSet::with_capacity(capacity),
             next_id: 0,
         }
+    }
+
+    /// Grow the pending-event reservation to at least `additional` more than
+    /// the current length.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+        self.live.reserve(additional);
     }
 
     /// Schedule an event at absolute time `time`; returns its id.

@@ -85,9 +85,17 @@ pub struct Simulation<E> {
 impl<E> Simulation<E> {
     /// A fresh simulation at time zero, with its RNG seeded from `seed`.
     pub fn new(seed: u64) -> Self {
+        Self::with_capacity(seed, 0)
+    }
+
+    /// [`Simulation::new`] with the event queue pre-reserved for
+    /// `events_hint` concurrently pending events (see
+    /// [`EventQueue::with_capacity`]): scenario drivers that know their
+    /// component count avoid re-allocating the heap mid-run.
+    pub fn with_capacity(seed: u64, events_hint: usize) -> Self {
         Self {
             time: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(events_hint),
             rng: Rng64::new(seed),
             handlers: Vec::new(),
             names: Vec::new(),

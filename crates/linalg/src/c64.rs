@@ -134,12 +134,14 @@ impl C64 {
     }
 
     /// Fused multiply-add: `self * b + c`. The workhorse of every inner loop
-    /// in the sample-level simulator.
+    /// in the sample-level simulator. Both components are full FMA chains
+    /// (two fused ops each, no separate rounding of the products), which is
+    /// both faster and one rounding step more accurate than `self * b + c`.
     #[inline]
     pub fn mul_add(self, b: Self, c: Self) -> Self {
         Self::new(
-            self.re.mul_add(b.re, -(self.im * b.im)) + c.re,
-            self.re.mul_add(b.im, self.im * b.re) + c.im,
+            self.re.mul_add(b.re, self.im.mul_add(-b.im, c.re)),
+            self.re.mul_add(b.im, self.im.mul_add(b.re, c.im)),
         )
     }
 }

@@ -158,6 +158,14 @@ impl CMat {
 
     /// Matrix-vector product `A·x`.
     pub fn mul_vec(&self, x: &CVec) -> CVec {
+        let mut out = CVec::zeros(self.rows);
+        self.mul_vec_into(x, &mut out);
+        out
+    }
+
+    /// [`CMat::mul_vec`] into a caller-owned vector (resized to `rows` only
+    /// when it does not already fit, so a reused buffer never reallocates).
+    pub fn mul_vec_into(&self, x: &CVec, out: &mut CVec) {
         assert_eq!(
             x.len(),
             self.cols,
@@ -166,16 +174,21 @@ impl CMat {
             self.cols,
             x.len()
         );
-        CVec::from_fn(self.rows, |r| {
+        out.resize(self.rows);
+        let xs = x.as_slice();
+        for (row, o) in self.data.chunks_exact(self.cols).zip(out.as_mut_slice()) {
             let mut acc = C64::zero();
-            for c in 0..self.cols {
-                acc = self[(r, c)].mul_add(x[c], acc);
+            for (&a, &xc) in row.iter().zip(xs) {
+                acc = a.mul_add(xc, acc);
             }
-            acc
-        })
+            *o = acc;
+        }
     }
 
-    /// Matrix product `A·B`.
+    /// Matrix product `A·B`: i-k-j loop order over the raw row-major slices,
+    /// so the inner loop walks both `B`'s row and the output row
+    /// sequentially (cache-friendly, `mul_add` accumulation, no per-element
+    /// index arithmetic).
     pub fn mul_mat(&self, b: &Self) -> Self {
         assert_eq!(
             self.cols, b.rows,
@@ -183,14 +196,14 @@ impl CMat {
             self.rows, self.cols, b.rows, b.cols
         );
         let mut out = Self::zeros(self.rows, b.cols);
-        for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(r, k)];
-                if a == C64::zero() {
-                    continue;
-                }
-                for c in 0..b.cols {
-                    out[(r, c)] = a.mul_add(b[(k, c)], out[(r, c)]);
+        for (arow, orow) in self
+            .data
+            .chunks_exact(self.cols)
+            .zip(out.data.chunks_exact_mut(b.cols))
+        {
+            for (&a, brow) in arow.iter().zip(b.data.chunks_exact(b.cols)) {
+                for (o, &x) in orow.iter_mut().zip(brow) {
+                    *o = a.mul_add(x, *o);
                 }
             }
         }

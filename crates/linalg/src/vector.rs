@@ -95,6 +95,12 @@ impl CVec {
         self.data
     }
 
+    /// Resize to dimension `n`, zero-filling any new entries (a no-op when
+    /// the dimension already matches — reused buffers never reallocate).
+    pub fn resize(&mut self, n: usize) {
+        self.data.resize(n, C64::zero());
+    }
+
     /// Hermitian inner product `⟨self, other⟩ = Σ conj(selfᵢ)·otherᵢ`.
     pub fn dot(&self, other: &Self) -> C64 {
         assert_eq!(self.len(), other.len(), "dot of mismatched dimensions");

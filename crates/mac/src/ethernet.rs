@@ -204,15 +204,33 @@ impl Hub {
     /// Drain one AP's inbox regardless of delivery time (the pre-latency
     /// behaviour: "enough time has passed").
     pub fn drain(&mut self, ap: u16) -> Vec<WirePacket> {
-        self.inboxes[ap as usize].drain(..).map(|(_, p)| p).collect()
+        let mut out = Vec::new();
+        self.drain_into(ap, &mut out);
+        out
+    }
+
+    /// [`Hub::drain`] into a caller-owned scratch vec (cleared and refilled,
+    /// reusing capacity across calls).
+    pub fn drain_into(&mut self, ap: u16, out: &mut Vec<WirePacket>) {
+        out.clear();
+        out.extend(self.inboxes[ap as usize].drain(..).map(|(_, p)| p));
     }
 
     /// Drain only the packets that have *arrived* at `ap` by `now_us`.
     /// Inboxes are in delivery-time order, so this takes a prefix.
     pub fn drain_ready(&mut self, ap: u16, now_us: f64) -> Vec<WirePacket> {
+        let mut out = Vec::new();
+        self.drain_ready_into(ap, now_us, &mut out);
+        out
+    }
+
+    /// [`Hub::drain_ready`] into a caller-owned scratch vec (cleared and
+    /// refilled, reusing capacity across calls).
+    pub fn drain_ready_into(&mut self, ap: u16, now_us: f64, out: &mut Vec<WirePacket>) {
         let inbox = &mut self.inboxes[ap as usize];
         let ready = inbox.iter().take_while(|(t, _)| *t <= now_us).count();
-        inbox.drain(..ready).map(|(_, p)| p).collect()
+        out.clear();
+        out.extend(inbox.drain(..ready).map(|(_, p)| p));
     }
 
     /// Total bytes that crossed the wire.

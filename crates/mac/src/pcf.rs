@@ -138,6 +138,9 @@ pub struct PcfSim<P: PhyOutcome> {
     /// Retransmission attempts by (client, seq, uplink) — the direction flag
     /// keeps a client's uplink and downlink packets with equal seqs apart.
     retx_count: HashMap<(u16, u16, bool), u8>,
+    /// Reused per-beacon scratch for the unacked-packet sweep (capacity
+    /// survives across CFPs, so the steady state does not allocate).
+    retx_scratch: Vec<QueuedPacket>,
     cfp_id: u16,
     /// Running statistics.
     pub stats: PcfStats,
@@ -238,6 +241,7 @@ impl<P: PhyOutcome> PcfSim<P> {
             pending_acks: Vec::new(),
             awaiting_ack: BTreeMap::new(),
             retx_count: HashMap::new(),
+            retx_scratch: Vec::new(),
             cfp_id: 0,
             stats: PcfStats::default(),
             scorer: Box::new(|_, _| 0.0),
@@ -290,14 +294,22 @@ impl<P: PhyOutcome> PcfSim<P> {
         self.cfp_id = self.cfp_id.wrapping_add(1);
         let mut groups = 0usize;
 
-        // 1. Beacon with the deferred uplink ACK map.
-        let beacon_acks: Vec<(u16, u16)> = std::mem::take(&mut self.pending_acks);
+        // 1. Beacon with the deferred uplink ACK map. The vec moves into the
+        // frame for byte accounting and is reclaimed (no clone) — it moves
+        // on into the CFP report at the end.
         let beacon = MacFrame::Beacon(Beacon {
             cfp_id: self.cfp_id,
             duration_slots: 0, // filled conceptually; duration varies (§7.1a)
-            ack_map: beacon_acks.clone(),
+            ack_map: std::mem::take(&mut self.pending_acks),
         });
         self.control_frame(&beacon);
+        let MacFrame::Beacon(Beacon {
+            ack_map: beacon_acks,
+            ..
+        }) = beacon
+        else {
+            unreachable!("beacon frame was just constructed")
+        };
         // Clients process the ACK map: confirmed packets leave the awaiting
         // set; silent ones are re-requested (or dropped past the limit).
         for &(client, seq) in &beacon_acks {
@@ -306,9 +318,9 @@ impl<P: PhyOutcome> PcfSim<P> {
                 *self.stats.per_client_delivered.entry(client).or_insert(0) += 1;
             }
         }
-        let unacked: Vec<QueuedPacket> =
-            std::mem::take(&mut self.awaiting_ack).into_values().collect();
-        for p in unacked {
+        let mut unacked = std::mem::take(&mut self.retx_scratch);
+        unacked.extend(std::mem::take(&mut self.awaiting_ack).into_values());
+        for p in unacked.drain(..) {
             let tries = self.retx_count.entry((p.client, p.seq, true)).or_insert(0);
             *tries += 1;
             if *tries > self.config.retx_limit {
@@ -318,6 +330,7 @@ impl<P: PhyOutcome> PcfSim<P> {
                 self.uplink_queue.push_front(p);
             }
         }
+        self.retx_scratch = unacked;
 
         // 2. Downlink groups.
         let mut downlink_results = Vec::new();

@@ -21,22 +21,49 @@ pub fn reconstruct(
     sample_rate_hz: f64,
     start: usize,
 ) -> Vec<Vec<C64>> {
+    let mut out = Vec::new();
+    reconstruct_into(symbols, v, h_est, power, cfo_hz, sample_rate_hz, start, &mut out);
+    out
+}
+
+/// [`reconstruct`] into a caller-owned stream set (reshaped to
+/// `h_est.rows()` streams of `symbols.len()` entries, reusing capacity).
+/// Zero allocations once warm.
+#[allow(clippy::too_many_arguments)]
+pub fn reconstruct_into(
+    symbols: &[C64],
+    v: &CVec,
+    h_est: &CMat,
+    power: f64,
+    cfo_hz: f64,
+    sample_rate_hz: f64,
+    start: usize,
+    out: &mut Vec<Vec<C64>>,
+) {
     let rx_antennas = h_est.rows();
-    // Effective per-rx-antenna coefficient: ĥ·v, scaled by sqrt(power).
-    let eff = h_est.mul_vec(v).scale(power.sqrt());
+    assert_eq!(v.len(), h_est.cols(), "precoder dimension mismatch");
+    let amp = power.sqrt();
     let step = C64::cis(std::f64::consts::TAU * cfo_hz / sample_rate_hz);
-    let mut out = vec![Vec::with_capacity(symbols.len()); rx_antennas];
-    let mut rot = C64::cis(
+    let rot0 = C64::cis(
         std::f64::consts::TAU * cfo_hz * start as f64 / sample_rate_hz,
     );
-    for &s in symbols {
-        let rotated = s * rot;
-        for (a, stream) in out.iter_mut().enumerate() {
-            stream.push(eff[a] * rotated);
+    crate::dsp::shape_streams(out, rx_antennas);
+    for (a, stream) in out.iter_mut().enumerate() {
+        // Effective coefficient for this rx antenna: (ĥ·v)[a]·sqrt(power) —
+        // computed on the stack so the steady-state loop stays allocation-free.
+        let mut eff = C64::zero();
+        for b in 0..h_est.cols() {
+            eff = h_est[(a, b)].mul_add(v[b], eff);
         }
-        rot *= step;
+        eff = eff.scale(amp);
+        stream.clear();
+        let mut rot = rot0;
+        stream.extend(symbols.iter().map(|&s| {
+            let sample = eff * (s * rot);
+            rot *= step;
+            sample
+        }));
     }
-    out
 }
 
 /// Subtract a reconstructed contribution from the received streams in place,

@@ -21,6 +21,9 @@
 //!   the estimated channel, subtract (§6, footnote 5).
 //! * [`training`] — sample-level least-squares channel estimation using
 //!   per-antenna time-orthogonal preambles (§8a).
+//! * [`dsp`] — the [`FftPlan`] planner and [`Scratch`] buffer arena behind
+//!   the zero-allocation `_into` variants of the sample-plane operations
+//!   (see `docs/PERFORMANCE.md`).
 //! * [`fft`], [`ofdm`] — radix-2 FFT and an OFDM layer with cyclic prefix,
 //!   used to test the §6c per-subcarrier alignment conjecture on
 //!   frequency-selective channels.
@@ -28,6 +31,7 @@
 //!   decoding, demonstrating that IAC is FEC-agnostic.
 
 pub mod cancel;
+pub mod dsp;
 pub mod fec;
 pub mod fft;
 pub mod frame;
@@ -39,6 +43,7 @@ pub mod precode;
 pub mod project;
 pub mod training;
 
+pub use dsp::{FftPlan, Scratch};
 pub use frame::{crc32, Frame};
 pub use medium::{AirTransmission, Medium};
 pub use modulation::{Bpsk, Modulation, Qam16, Qpsk};

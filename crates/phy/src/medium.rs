@@ -40,7 +40,28 @@ impl Medium {
         noise: Awgn,
         rng: &mut Rng64,
     ) -> Vec<Vec<C64>> {
-        let mut out = vec![vec![C64::zero(); n_samples]; rx_antennas];
+        let mut out = Vec::new();
+        Self::mix_into(transmissions, rx_antennas, n_samples, noise, rng, &mut out);
+        out
+    }
+
+    /// [`Medium::mix`] into a caller-owned stream set: `out` is reshaped to
+    /// `rx_antennas` streams of `n_samples` zeroed entries (reusing buffer
+    /// capacity) before the transmissions and noise are accumulated. Zero
+    /// allocations once warm.
+    pub fn mix_into(
+        transmissions: &[AirTransmission<'_>],
+        rx_antennas: usize,
+        n_samples: usize,
+        noise: Awgn,
+        rng: &mut Rng64,
+        out: &mut Vec<Vec<C64>>,
+    ) {
+        crate::dsp::shape_streams(out, rx_antennas);
+        for stream in out.iter_mut() {
+            stream.clear();
+            stream.resize(n_samples, C64::zero());
+        }
         for tx in transmissions {
             let tx_antennas = tx.streams.len();
             assert_eq!(
@@ -76,7 +97,6 @@ impl Medium {
         for stream in out.iter_mut() {
             noise.add_to(stream, rng);
         }
-        out
     }
 }
 

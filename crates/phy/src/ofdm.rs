@@ -9,7 +9,8 @@
 //! *per subcarrier* after the FFT, and the alignment equations can be solved
 //! independently in each bin.
 
-use crate::fft::{convolve, fft, ifft};
+use crate::dsp::Scratch;
+use crate::fft::{convolve_into, fft, with_thread_scratch};
 use iac_linalg::{C64, CMat, Rng64};
 
 /// OFDM parameters.
@@ -40,29 +41,56 @@ impl OfdmConfig {
 /// Modulate frequency-domain symbols (one per subcarrier) into one OFDM
 /// time-domain symbol with cyclic prefix.
 pub fn ofdm_modulate(config: &OfdmConfig, freq_symbols: &[C64]) -> Vec<C64> {
+    let mut out = Vec::new();
+    with_thread_scratch(|s| ofdm_modulate_into(config, freq_symbols, &mut out, s));
+    out
+}
+
+/// [`ofdm_modulate`] into a caller-owned buffer, drawing the IFFT temporary
+/// from `scratch`. `out` is cleared and refilled with the
+/// `config.symbol_len()` air samples. Zero allocations once warm.
+pub fn ofdm_modulate_into(
+    config: &OfdmConfig,
+    freq_symbols: &[C64],
+    out: &mut Vec<C64>,
+    scratch: &mut Scratch,
+) {
     assert_eq!(
         freq_symbols.len(),
         config.n_subcarriers,
         "need one symbol per subcarrier"
     );
-    let mut time = freq_symbols.to_vec();
-    ifft(&mut time);
-    let mut out = Vec::with_capacity(config.symbol_len());
+    let mut time = scratch.take_copy(freq_symbols);
+    scratch.plan(config.n_subcarriers).ifft(&mut time);
+    out.clear();
     out.extend_from_slice(&time[config.n_subcarriers - config.cp_len..]);
     out.extend_from_slice(&time);
-    out
+    scratch.put(time);
 }
 
 /// Demodulate one OFDM symbol (starting at the cyclic prefix) back to
 /// per-subcarrier frequency-domain symbols.
 pub fn ofdm_demodulate(config: &OfdmConfig, samples: &[C64]) -> Vec<C64> {
+    let mut out = Vec::new();
+    with_thread_scratch(|s| ofdm_demodulate_into(config, samples, &mut out, s));
+    out
+}
+
+/// [`ofdm_demodulate`] into a caller-owned buffer (cleared and refilled with
+/// one frequency-domain symbol per subcarrier). Zero allocations once warm.
+pub fn ofdm_demodulate_into(
+    config: &OfdmConfig,
+    samples: &[C64],
+    out: &mut Vec<C64>,
+    scratch: &mut Scratch,
+) {
     assert!(
         samples.len() >= config.symbol_len(),
         "short OFDM symbol buffer"
     );
-    let mut time = samples[config.cp_len..config.symbol_len()].to_vec();
-    fft(&mut time);
-    time
+    out.clear();
+    out.extend_from_slice(&samples[config.cp_len..config.symbol_len()]);
+    scratch.plan(config.n_subcarriers).fft(out);
 }
 
 /// A frequency-selective SISO channel as taps; OFDM turns it into one
@@ -108,23 +136,45 @@ impl MultitapChannel {
     /// Apply the channel to per-antenna transmit streams, producing
     /// per-rx-antenna streams (length grows by `taps−1`).
     pub fn apply(&self, streams: &[Vec<C64>]) -> Vec<Vec<C64>> {
+        let mut out = Vec::new();
+        with_thread_scratch(|s| self.apply_into(streams, &mut out, s));
+        out
+    }
+
+    /// [`MultitapChannel::apply`] into a caller-owned stream set, drawing the
+    /// per-antenna-pair SISO tap and convolution temporaries from `scratch`.
+    /// Zero allocations once warm.
+    pub fn apply_into(&self, streams: &[Vec<C64>], out: &mut Vec<Vec<C64>>, scratch: &mut Scratch) {
         let rx = self.taps[0].rows();
         let tx = self.taps[0].cols();
         assert_eq!(streams.len(), tx, "stream count must match tx antennas");
         let in_len = streams[0].len();
+        assert!(
+            streams.iter().all(|s| s.len() == in_len),
+            "ragged transmit streams"
+        );
         let out_len = in_len + self.taps.len() - 1;
-        let mut out = vec![vec![C64::zero(); out_len]; rx];
+        crate::dsp::shape_streams(out, rx);
+        for stream in out.iter_mut() {
+            stream.clear();
+            stream.resize(out_len, C64::zero());
+        }
+        let mut siso = scratch.take(self.taps.len());
+        let mut conv = scratch.take(0);
         for b in 0..tx {
             // SISO taps for the (a,b) antenna pair.
             for a in 0..rx {
-                let siso: Vec<C64> = self.taps.iter().map(|m| m[(a, b)]).collect();
-                let conv = convolve(&streams[b], &siso);
-                for (t, &v) in conv.iter().enumerate() {
-                    out[a][t] += v;
+                for (tap, m) in siso.iter_mut().zip(&self.taps) {
+                    *tap = m[(a, b)];
+                }
+                convolve_into(&streams[b], &siso, &mut conv, scratch);
+                for (o, &v) in out[a].iter_mut().zip(conv.iter()) {
+                    *o += v;
                 }
             }
         }
-        out
+        scratch.put(conv);
+        scratch.put(siso);
     }
 
     /// The per-subcarrier MIMO channel matrices after OFDM: one `rx×tx`
@@ -155,6 +205,7 @@ impl MultitapChannel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fft::convolve;
     use iac_linalg::CVec;
 
     #[test]

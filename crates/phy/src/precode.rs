@@ -5,6 +5,7 @@
 //! packet by the vector) and transmit the two elements of the resulting
 //! 2-dimensional vector, one on each antenna" (§4b).
 
+use crate::dsp::shape_streams;
 use iac_linalg::{C64, CVec};
 
 /// Multiply every sample by the encoding vector, producing one stream per
@@ -12,20 +13,37 @@ use iac_linalg::{C64, CVec};
 /// `power` times the input sample power (encoding vectors are unit norm, so
 /// the scale is just `sqrt(power)`).
 pub fn precode(samples: &[C64], v: &CVec, power: f64) -> Vec<Vec<C64>> {
+    let mut out = Vec::new();
+    precode_into(samples, v, power, &mut out);
+    out
+}
+
+/// [`precode`] into a caller-owned stream set: `out` is reshaped to
+/// `v.len()` streams of `samples.len()` entries, reusing existing buffer
+/// capacity. Zero allocations once warm.
+pub fn precode_into(samples: &[C64], v: &CVec, power: f64, out: &mut Vec<Vec<C64>>) {
     assert!(power >= 0.0, "power must be non-negative");
     let amp = power.sqrt();
-    (0..v.len())
-        .map(|antenna| {
-            let w = v[antenna] * amp;
-            samples.iter().map(|&s| s * w).collect()
-        })
-        .collect()
+    shape_streams(out, v.len());
+    for (antenna, stream) in out.iter_mut().enumerate() {
+        let w = v[antenna] * amp;
+        stream.clear();
+        stream.extend(samples.iter().map(|&s| s * w));
+    }
 }
 
 /// Sum several per-antenna stream sets element-wise (a node transmitting
 /// multiple precoded packets at once adds their antenna streams — e.g.
 /// client 1 in Fig. 4b sends `p1·v1 + p2·v2`).
 pub fn sum_streams(sets: &[Vec<Vec<C64>>]) -> Vec<Vec<C64>> {
+    let mut out = Vec::new();
+    sum_streams_into(sets, &mut out);
+    out
+}
+
+/// [`sum_streams`] into a caller-owned stream set (reshaped and overwritten,
+/// reusing capacity).
+pub fn sum_streams_into(sets: &[Vec<Vec<C64>>], out: &mut Vec<Vec<C64>>) {
     assert!(!sets.is_empty(), "no stream sets to sum");
     let antennas = sets[0].len();
     let len = sets[0][0].len();
@@ -33,13 +51,11 @@ pub fn sum_streams(sets: &[Vec<Vec<C64>>]) -> Vec<Vec<C64>> {
         assert_eq!(s.len(), antennas, "antenna count mismatch");
         assert!(s.iter().all(|st| st.len() == len), "stream length mismatch");
     }
-    (0..antennas)
-        .map(|a| {
-            (0..len)
-                .map(|t| sets.iter().map(|s| s[a][t]).sum())
-                .collect()
-        })
-        .collect()
+    shape_streams(out, antennas);
+    for (a, stream) in out.iter_mut().enumerate() {
+        stream.clear();
+        stream.extend((0..len).map(|t| sets.iter().map(|s| s[a][t]).sum::<C64>()));
+    }
 }
 
 /// Zero-pad streams on the left by `offset` samples (a transmitter that

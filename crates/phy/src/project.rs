@@ -9,6 +9,14 @@ use iac_linalg::{C64, CVec};
 
 /// Project multi-antenna received streams onto a decoding vector.
 pub fn combine(rx_streams: &[Vec<C64>], u: &CVec) -> Vec<C64> {
+    let mut out = Vec::new();
+    combine_into(rx_streams, u, &mut out);
+    out
+}
+
+/// [`combine`] into a caller-owned buffer (cleared and refilled, reusing
+/// capacity). Zero allocations once warm.
+pub fn combine_into(rx_streams: &[Vec<C64>], u: &CVec, out: &mut Vec<C64>) {
     assert_eq!(
         rx_streams.len(),
         u.len(),
@@ -19,15 +27,18 @@ pub fn combine(rx_streams: &[Vec<C64>], u: &CVec) -> Vec<C64> {
         rx_streams.iter().all(|s| s.len() == len),
         "ragged receive streams"
     );
-    (0..len)
-        .map(|t| {
-            let mut acc = C64::zero();
-            for (a, stream) in rx_streams.iter().enumerate() {
-                acc = u[a].conj().mul_add(stream[t], acc);
-            }
-            acc
-        })
-        .collect()
+    out.clear();
+    out.resize(len, C64::zero());
+    // Antenna-major accumulation: the conjugated weight is hoisted out of
+    // the sample loop and both slices stream sequentially. Per sample this
+    // performs the same `mul_add` chain in the same order as the naive
+    // sample-major loop, so results are bit-identical.
+    for (a, stream) in rx_streams.iter().enumerate() {
+        let w = u[a].conj();
+        for (o, &s) in out.iter_mut().zip(stream) {
+            *o = w.mul_add(s, *o);
+        }
+    }
 }
 
 /// Equalise a projected stream by a scalar effective channel estimate:
@@ -35,6 +46,15 @@ pub fn combine(rx_streams: &[Vec<C64>], u: &CVec) -> Vec<C64> {
 pub fn equalize(stream: &[C64], g: C64) -> Vec<C64> {
     let inv = g.recip().unwrap_or(C64::zero());
     stream.iter().map(|&s| s * inv).collect()
+}
+
+/// [`equalize`] in place: scales every sample by `1/g` (or zeroes the stream
+/// when `g` is not invertible).
+pub fn equalize_in_place(stream: &mut [C64], g: C64) {
+    let inv = g.recip().unwrap_or(C64::zero());
+    for s in stream.iter_mut() {
+        *s *= inv;
+    }
 }
 
 /// Measure post-projection SNR against known transmitted symbols: decompose

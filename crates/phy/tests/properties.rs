@@ -1,15 +1,31 @@
 //! Property-based tests for the PHY substrate: round-trips and conservation
 //! laws that must hold for arbitrary payloads, channels and parameters.
 
-use iac_linalg::{C64, CVec, Rng64};
+use iac_channel::{Awgn, Cfo};
+use iac_linalg::{C64, CMat, CVec, Rng64};
+use iac_phy::cancel::{reconstruct, reconstruct_into};
+use iac_phy::dsp::Scratch;
 use iac_phy::fec::{ConvK3, Hamming74};
-use iac_phy::fft::{convolve, fft, ifft};
+use iac_phy::fft::{convolve, convolve_into, fft, ifft};
 use iac_phy::frame::{bits_to_bytes, bytes_to_bits, crc32, Frame};
+use iac_phy::medium::{AirTransmission, Medium};
 use iac_phy::modulation::{bit_errors, Bpsk, Modulation, Qam16, Qpsk};
+use iac_phy::ofdm::{
+    ofdm_demodulate, ofdm_demodulate_into, ofdm_modulate, ofdm_modulate_into, MultitapChannel,
+    OfdmConfig,
+};
 use iac_phy::preamble::Preamble;
-use iac_phy::precode::{precode, sum_streams};
-use iac_phy::project::combine;
+use iac_phy::precode::{precode, precode_into, sum_streams, sum_streams_into};
+use iac_phy::project::{combine, combine_into};
 use proptest::prelude::*;
+
+/// A dirty, oddly-shaped stream-set buffer: the `_into` reshaping logic must
+/// overwrite every trace of it.
+fn dirty_streams(rng: &mut Rng64) -> Vec<Vec<C64>> {
+    (0..(rng.below(5) as usize))
+        .map(|_| (0..(rng.below(40) as usize)).map(|_| rng.cn01()).collect())
+        .collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -143,5 +159,131 @@ proptest! {
         let (at, corr) = p.detect_best(&stream).unwrap();
         prop_assert_eq!(at, offset);
         prop_assert!(corr > 0.9);
+    }
+
+    // ---- `_into` variants must be bit-identical to their allocating
+    // counterparts, even when handed dirty, wrongly-shaped reuse buffers ----
+
+    #[test]
+    fn precode_into_bit_identical(seed in any::<u64>(), n in 1usize..300) {
+        let mut rng = Rng64::new(seed);
+        let samples: Vec<C64> = (0..n).map(|_| rng.cn01()).collect();
+        let v = CVec::random_unit(2, &mut rng);
+        let mut out = dirty_streams(&mut rng);
+        precode_into(&samples, &v, 0.7, &mut out);
+        prop_assert_eq!(&out, &precode(&samples, &v, 0.7));
+    }
+
+    #[test]
+    fn sum_streams_into_bit_identical(seed in any::<u64>(), n in 1usize..100) {
+        let mut rng = Rng64::new(seed);
+        let samples: Vec<C64> = (0..n).map(|_| rng.cn01()).collect();
+        let a = precode(&samples, &CVec::random_unit(2, &mut rng), 1.0);
+        let b = precode(&samples, &CVec::random_unit(2, &mut rng), 2.0);
+        let sets = [a, b];
+        let mut out = dirty_streams(&mut rng);
+        sum_streams_into(&sets, &mut out);
+        prop_assert_eq!(&out, &sum_streams(&sets));
+    }
+
+    #[test]
+    fn combine_into_bit_identical(seed in any::<u64>(), n in 1usize..300) {
+        let mut rng = Rng64::new(seed);
+        let samples: Vec<C64> = (0..n).map(|_| rng.cn01()).collect();
+        let streams = precode(&samples, &CVec::random_unit(2, &mut rng), 1.0);
+        let u = CVec::random_unit(2, &mut rng);
+        let mut out: Vec<C64> = (0..(rng.below(50) as usize)).map(|_| rng.cn01()).collect();
+        combine_into(&streams, &u, &mut out);
+        prop_assert_eq!(&out, &combine(&streams, &u));
+    }
+
+    #[test]
+    fn reconstruct_into_bit_identical(seed in any::<u64>(), n in 1usize..200, cfo in -500.0f64..500.0) {
+        let mut rng = Rng64::new(seed);
+        let symbols: Vec<C64> = (0..n).map(|_| rng.cn01()).collect();
+        let v = CVec::random_unit(2, &mut rng);
+        let h = CMat::random(2, 2, &mut rng);
+        let mut out = dirty_streams(&mut rng);
+        reconstruct_into(&symbols, &v, &h, 0.5, cfo, 500_000.0, 7, &mut out);
+        prop_assert_eq!(&out, &reconstruct(&symbols, &v, &h, 0.5, cfo, 500_000.0, 7));
+    }
+
+    #[test]
+    fn mix_into_bit_identical(seed in any::<u64>(), n in 1usize..200, noise in 0.0f64..0.5) {
+        let mut rng = Rng64::new(seed);
+        let samples: Vec<C64> = (0..n).map(|_| rng.cn01()).collect();
+        let streams = precode(&samples, &CVec::random_unit(2, &mut rng), 1.0);
+        let h = CMat::random(2, 2, &mut rng);
+        let tx = [AirTransmission {
+            streams: &streams,
+            channel: &h,
+            cfo: Cfo::new(123.0, 500_000.0),
+            start: 3,
+        }];
+        let mut out = dirty_streams(&mut rng);
+        // Identical RNG state for both mixes, so the AWGN draws match.
+        let mut rng_a = rng.clone();
+        let mut rng_b = rng;
+        Medium::mix_into(&tx, 2, n, Awgn::new(noise), &mut rng_b, &mut out);
+        prop_assert_eq!(&out, &Medium::mix(&tx, 2, n, Awgn::new(noise), &mut rng_a));
+    }
+
+    #[test]
+    fn convolve_into_bit_identical(seed in any::<u64>(), n in 1usize..300, taps_n in 1usize..80) {
+        // Straddles the FAST_CONV_MIN_TAPS threshold, so both the direct and
+        // the overlap-add path are exercised against the same entry point.
+        let mut rng = Rng64::new(seed);
+        let signal: Vec<C64> = (0..n).map(|_| rng.cn01()).collect();
+        let taps: Vec<C64> = (0..taps_n).map(|_| rng.cn01()).collect();
+        let mut scratch = Scratch::new();
+        let mut out: Vec<C64> = (0..(rng.below(50) as usize)).map(|_| rng.cn01()).collect();
+        convolve_into(&signal, &taps, &mut out, &mut scratch);
+        prop_assert_eq!(&out, &convolve(&signal, &taps));
+    }
+
+    #[test]
+    fn ofdm_into_bit_identical(seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let cfg = OfdmConfig::wifi_like();
+        let freq: Vec<C64> = (0..cfg.n_subcarriers).map(|_| rng.cn01()).collect();
+        let mut scratch = Scratch::new();
+        let mut air: Vec<C64> = (0..(rng.below(30) as usize)).map(|_| rng.cn01()).collect();
+        ofdm_modulate_into(&cfg, &freq, &mut air, &mut scratch);
+        prop_assert_eq!(&air, &ofdm_modulate(&cfg, &freq));
+        let mut back: Vec<C64> = (0..(rng.below(30) as usize)).map(|_| rng.cn01()).collect();
+        ofdm_demodulate_into(&cfg, &air, &mut back, &mut scratch);
+        prop_assert_eq!(&back, &ofdm_demodulate(&cfg, &air));
+    }
+
+    #[test]
+    fn multitap_apply_into_bit_identical(seed in any::<u64>(), n in 1usize..120, taps_n in 1usize..6) {
+        let mut rng = Rng64::new(seed);
+        let ch = MultitapChannel::random(2, 2, taps_n, 0.4, &mut rng);
+        let streams: Vec<Vec<C64>> = (0..2)
+            .map(|_| (0..n).map(|_| rng.cn01()).collect())
+            .collect();
+        let mut scratch = Scratch::new();
+        let mut out = dirty_streams(&mut rng);
+        ch.apply_into(&streams, &mut out, &mut scratch);
+        prop_assert_eq!(&out, &ch.apply(&streams));
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless(seed in any::<u64>(), n in 1usize..150) {
+        // A warm, previously-used Scratch must not change any result: run
+        // the same op twice through one arena and once through a fresh one.
+        let mut rng = Rng64::new(seed);
+        let signal: Vec<C64> = (0..n).map(|_| rng.cn01()).collect();
+        let taps: Vec<C64> = (0..40).map(|_| rng.cn01()).collect();
+        let mut warm = Scratch::new();
+        let mut a = Vec::new();
+        convolve_into(&signal, &taps, &mut a, &mut warm);
+        let mut b = Vec::new();
+        convolve_into(&signal, &taps, &mut b, &mut warm);
+        let mut fresh = Scratch::new();
+        let mut c = Vec::new();
+        convolve_into(&signal, &taps, &mut c, &mut fresh);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
     }
 }

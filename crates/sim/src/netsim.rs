@@ -193,7 +193,14 @@ pub struct NetSimOutcome {
 /// no per-group channel knowledge for a rate scorer to exploit, so FIFO
 /// keeps the comparison between MAC configurations policy-neutral.
 pub fn run_netsim(spec: &NetSim, phy: CalibratedPhy) -> NetSimOutcome {
-    let mut sim: Simulation<NetEvent> = Simulation::new(spec.seed);
+    // Pending events peak near one self-tick per source plus a wire-delivery
+    // fan-out per AP and the MAC's own phase events; pre-reserving the heap
+    // keeps the steady state allocation-free (churn schedules land up front).
+    let events_hint = spec.sources.len() * 4
+        + spec.sources.iter().map(|s| s.churn_ms.len()).sum::<usize>()
+        + spec.cfg.protocol.n_aps as usize
+        + 16;
+    let mut sim: Simulation<NetEvent> = Simulation::with_capacity(spec.seed, events_hint);
     let metrics = SharedMetrics::new();
     let n_aps = spec.cfg.protocol.n_aps;
     let horizon = spec.cfg.horizon;

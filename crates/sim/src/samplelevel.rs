@@ -26,13 +26,14 @@ use iac_core::closed_form;
 use iac_core::grid::{ChannelGrid, Direction};
 use iac_core::solver::decoding_vectors;
 use iac_linalg::{C64, CMat, CVec, Rng64};
-use iac_phy::cancel::{reconstruct, residual_fraction, subtract};
+use iac_phy::cancel::{reconstruct_into, residual_fraction, subtract};
+use iac_phy::dsp::Scratch;
 use iac_phy::frame::Frame;
 use iac_phy::medium::{AirTransmission, Medium};
 use iac_phy::modulation::{bit_errors, Bpsk, Modulation};
 use iac_phy::precode::{precode, sum_streams};
 use iac_phy::preamble::Preamble;
-use iac_phy::project::{combine, costas_bpsk, equalize, measure_snr};
+use iac_phy::project::{combine_into, costas_bpsk, equalize_in_place, measure_snr};
 use iac_phy::training::{
     derotate, estimate_cfo, estimate_channel, matched_cfo_search, training_streams,
 };
@@ -102,6 +103,7 @@ fn build_packet(src: u16, seq: u16, payload_bytes: usize, pilot: &Preamble, rng:
 
 /// Decode one projected stream: derotate → equalise → Costas → demod,
 /// skipping the pilot. Returns (bits, measured SNR over the whole packet).
+/// The derotation/equalisation working copy comes from `scratch`.
 #[allow(clippy::too_many_arguments)]
 fn decode_stream(
     projected: &[C64],
@@ -111,11 +113,13 @@ fn decode_stream(
     gain: C64,
     n_bits: usize,
     reference_symbols: &[C64],
+    scratch: &mut Scratch,
 ) -> (Vec<bool>, f64) {
-    let mut z = projected.to_vec();
+    let mut z = scratch.take_copy(projected);
     derotate(&mut z, cfo_est_hz, sample_rate_hz, 0);
-    let eq = equalize(&z, gain);
-    let tracked = costas_bpsk(&eq, 0.1);
+    equalize_in_place(&mut z, gain);
+    let tracked = costas_bpsk(&z, 0.1);
+    scratch.put(z);
     let data = &tracked[pilot.len()..pilot.len() + n_bits];
     let bits = Bpsk.demodulate(data);
     let snr = measure_snr(&tracked[..reference_symbols.len()], reference_symbols);
@@ -125,6 +129,9 @@ fn decode_stream(
 /// Run the three-packet uplink chain.
 pub fn run_uplink3(config: &SampleLevelConfig) -> SampleLevelReport {
     let mut rng = Rng64::new(config.seed);
+    // One scratch arena per run: every sample-plane step below draws its
+    // working buffers from here instead of allocating per call.
+    let mut scratch = Scratch::new();
     let fs = config.sample_rate_hz;
     let pilot = Preamble::paper_default();
     let train = Preamble::from_lfsr(64, 0b1_0111);
@@ -142,9 +149,11 @@ pub fn run_uplink3(config: &SampleLevelConfig) -> SampleLevelReport {
     let mut cfo_est = [[0.0f64; 2]; 2]; // [client][ap]
     let train_streams = training_streams(&train, 2);
     let train_len = train_streams[0].len();
+    let known = train.samples();
+    let mut rx_train: Vec<Vec<C64>> = Vec::new();
     for client in 0..2 {
         for ap in 0..2 {
-            let rx = Medium::mix(
+            Medium::mix_into(
                 &[AirTransmission {
                     streams: &train_streams,
                     channel: true_grid.link(client, ap),
@@ -155,18 +164,16 @@ pub fn run_uplink3(config: &SampleLevelConfig) -> SampleLevelReport {
                 train_len,
                 noise,
                 &mut rng,
+                &mut rx_train,
             );
             // CFO first (from antenna-0's training slot on rx antenna 0),
-            // then derotate and LS-estimate the matrix.
-            let known = train.samples();
-            let slice: Vec<C64> = rx[0][..train.len()].to_vec();
-            let df = estimate_cfo(&slice, &known, fs);
+            // then derotate in place and LS-estimate the matrix.
+            let df = estimate_cfo(&rx_train[0][..train.len()], &known, fs);
             cfo_est[client][ap] = df;
-            let mut derot = rx.clone();
-            for stream in derot.iter_mut() {
+            for stream in rx_train.iter_mut() {
                 derotate(stream, df, fs, 0);
             }
-            est[client][ap] = estimate_channel(&derot, &train, 2, 0);
+            est[client][ap] = estimate_channel(&rx_train, &train, 2, 0);
         }
     }
     let est_grid = ChannelGrid::new(
@@ -201,8 +208,8 @@ pub fn run_uplink3(config: &SampleLevelConfig) -> SampleLevelReport {
         precode(&packets[1].samples, &v[1], powers[1]),
     ]);
     let client1_streams = precode(&packets[2].samples, &v[2], powers[2]);
-    let receive_at = |ap: usize, rng: &mut Rng64| {
-        Medium::mix(
+    let receive_at = |ap: usize, rng: &mut Rng64, out: &mut Vec<Vec<C64>>| {
+        Medium::mix_into(
             &[
                 AirTransmission {
                     streams: &client0_streams,
@@ -221,10 +228,13 @@ pub fn run_uplink3(config: &SampleLevelConfig) -> SampleLevelReport {
             n_samples,
             noise,
             rng,
+            out,
         )
     };
-    let rx_ap0 = receive_at(0, &mut rng);
-    let mut rx_ap1 = receive_at(1, &mut rng);
+    let mut rx_ap0 = Vec::new();
+    receive_at(0, &mut rng, &mut rx_ap0);
+    let mut rx_ap1 = Vec::new();
+    receive_at(1, &mut rng, &mut rx_ap1);
 
     // §6a check: p1's and p2's *spatial* images at AP0 stay aligned despite
     // the different CFOs (complex-scalar rotations don't change direction).
@@ -234,9 +244,9 @@ pub fn run_uplink3(config: &SampleLevelConfig) -> SampleLevelReport {
 
     // ---- 4. AP0 decodes p0 ---------------------------------------------
     let us0 = decoding_vectors(&est_grid, schedule, 0, v).expect("decoding vectors");
-    let z0 = combine(&rx_ap0, &us0[0]);
+    let mut z0 = scratch.take(0);
+    combine_into(&rx_ap0, &us0[0], &mut z0);
     let g0 = us0[0].dot(&est_grid.link(0, 0).mul_vec(&v[0])) * powers[0].sqrt();
-    let ref0: Vec<C64> = packets[0].samples.clone();
     let (bits0, snr0) = decode_stream(
         &z0,
         &pilot,
@@ -244,8 +254,10 @@ pub fn run_uplink3(config: &SampleLevelConfig) -> SampleLevelReport {
         fs,
         g0,
         packets[0].bits.len(),
-        &ref0,
+        &packets[0].samples,
+        &mut scratch,
     );
+    scratch.put(z0);
     let crc0 = Frame::from_bits(&bits0).is_ok();
     let ber0 = bit_errors(&packets[0].bits, &bits0) as f64 / packets[0].bits.len() as f64;
 
@@ -271,33 +283,36 @@ pub fn run_uplink3(config: &SampleLevelConfig) -> SampleLevelReport {
     {
         let energy: f64 = s0.iter().map(|s| s.norm_sqr()).sum();
         for (a, antenna) in rx_ap1.iter().enumerate() {
-            let mut derot = antenna.clone();
+            let mut derot = scratch.take_copy(antenna);
             derotate(&mut derot, df0, fs, 0);
             let mut acc = C64::zero();
             for (r, s) in derot.iter().zip(&s0) {
                 acc += s.conj() * *r;
             }
+            scratch.put(derot);
             eff[a] = acc * (1.0 / energy);
         }
     }
     // Matched-filter power of p0 in a stream set (isolates p0 from the
     // other packets through the long-correlation processing gain).
-    let p0_component = |streams: &[Vec<C64>]| -> f64 {
+    let p0_component = |streams: &[Vec<C64>], scratch: &mut Scratch| -> f64 {
         let energy: f64 = s0.iter().map(|s| s.norm_sqr()).sum();
         let mut total = 0.0;
         for antenna in streams {
-            let mut derot = antenna.clone();
+            let mut derot = scratch.take_copy(antenna);
             derotate(&mut derot, df0, fs, 0);
             let mut acc = C64::zero();
             for (r, s) in derot.iter().zip(&s0) {
                 acc += s.conj() * *r;
             }
+            scratch.put(derot);
             total += (acc * (1.0 / energy)).norm_sqr();
         }
         total
     };
-    let p0_before = p0_component(&rx_ap1);
-    let recon = reconstruct(
+    let p0_before = p0_component(&rx_ap1, &mut scratch);
+    let mut recon = Vec::new();
+    reconstruct_into(
         &s0,
         &CVec::new(vec![C64::one(), C64::zero()]),
         &CMat::from_cols(&[eff.clone(), CVec::zeros(2)]),
@@ -305,9 +320,10 @@ pub fn run_uplink3(config: &SampleLevelConfig) -> SampleLevelReport {
         df0,
         fs,
         0,
+        &mut recon,
     );
     subtract(&mut rx_ap1, &recon, 0);
-    let p0_after = p0_component(&rx_ap1);
+    let p0_after = p0_component(&rx_ap1, &mut scratch);
     let cancel_residual = if p0_before > 0.0 {
         p0_after / p0_before
     } else {
@@ -319,9 +335,10 @@ pub fn run_uplink3(config: &SampleLevelConfig) -> SampleLevelReport {
     let mut ber = [ber0, 0.0, 0.0];
     let mut crc_ok = [crc0, false, false];
     let mut measured = [snr0, 0.0, 0.0];
+    let mut z = scratch.take(0);
     for (slot, &p) in schedule.steps[1].decode.iter().enumerate() {
         let owner = schedule.owners[p];
-        let z = combine(&rx_ap1, &us1[slot]);
+        combine_into(&rx_ap1, &us1[slot], &mut z);
         let g = us1[slot].dot(&est_grid.link(owner, 1).mul_vec(&v[p])) * powers[p].sqrt();
         let (bits, snr) = decode_stream(
             &z,
@@ -331,11 +348,13 @@ pub fn run_uplink3(config: &SampleLevelConfig) -> SampleLevelReport {
             g,
             packets[p].bits.len(),
             &packets[p].samples,
+            &mut scratch,
         );
         crc_ok[p] = Frame::from_bits(&bits).is_ok();
         ber[p] = bit_errors(&packets[p].bits, &bits) as f64 / packets[p].bits.len() as f64;
         measured[p] = snr;
     }
+    scratch.put(z);
 
     SampleLevelReport {
         ber,

@@ -1,0 +1,133 @@
+//! Flat `{"target": median_ns}` JSON maps for the baseline harness.
+//!
+//! Not a general JSON implementation: exactly the dialect the benchmark
+//! tooling writes — one object whose keys are target names (no escape
+//! sequences) and whose values are finite numbers. `iac-bench`'s `baseline`
+//! binary reads and writes the same dialect, so the two stay in lock-step by
+//! sharing this module.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Serialise a flat map, keys in the given order, one entry per line.
+pub fn format_flat_map(entries: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        assert!(
+            !k.contains('"') && !k.contains('\\'),
+            "target name {k:?} needs escaping, which this writer does not do"
+        );
+        out.push_str(&format!("  \"{k}\": {v:.1}"));
+        if i + 1 < entries.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parse a flat `{"key": number}` map (the dialect [`format_flat_map`]
+/// writes; tolerant of whitespace and a trailing comma). Returns `None` on
+/// anything else.
+pub fn parse_flat_map(text: &str) -> Option<Vec<(String, f64)>> {
+    let mut rest = text.trim();
+    rest = rest.strip_prefix('{')?.trim_start();
+    let mut entries = Vec::new();
+    loop {
+        if let Some(after) = rest.strip_prefix('}') {
+            if !after.trim().is_empty() {
+                return None;
+            }
+            return Some(entries);
+        }
+        rest = rest.strip_prefix('"')?;
+        let close = rest.find('"')?;
+        let key = rest[..close].to_string();
+        if key.contains('\\') {
+            return None; // escapes unsupported by design
+        }
+        rest = rest[close + 1..].trim_start().strip_prefix(':')?.trim_start();
+        let num_len = rest
+            .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+            .unwrap_or(rest.len());
+        let value: f64 = rest[..num_len].parse().ok()?;
+        if !value.is_finite() {
+            return None;
+        }
+        entries.push((key, value));
+        rest = rest[num_len..].trim_start();
+        if let Some(after_comma) = rest.strip_prefix(',') {
+            rest = after_comma.trim_start();
+        }
+    }
+}
+
+/// Read the map at `path` (missing file ⇒ empty), upsert `target`, and write
+/// it back. Keys keep their first-seen order, so reruns produce stable
+/// diffs.
+pub fn merge_entry(path: &Path, target: &str, median_ns: f64) -> io::Result<()> {
+    let mut entries = match fs::read_to_string(path) {
+        Ok(text) => parse_flat_map(&text).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{} is not a flat target→ns JSON map", path.display()),
+            )
+        })?,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    match entries.iter_mut().find(|(k, _)| k == target) {
+        Some((_, v)) => *v = median_ns,
+        None => entries.push((target.to_string(), median_ns)),
+    }
+    fs::write(path, format_flat_map(&entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let entries = vec![
+            ("sample_ops/precode_12k_samples".to_string(), 1234.5),
+            ("fft/fft_1024".to_string(), 9.0),
+        ];
+        let text = format_flat_map(&entries);
+        let back = parse_flat_map(&text).unwrap();
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn empty_map() {
+        assert_eq!(parse_flat_map("{}").unwrap(), vec![]);
+        assert_eq!(parse_flat_map(&format_flat_map(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_flat_map("").is_none());
+        assert!(parse_flat_map("[1, 2]").is_none());
+        assert!(parse_flat_map("{\"a\": \"s\"}").is_none());
+        assert!(parse_flat_map("{\"a\": 1} trailing").is_none());
+    }
+
+    #[test]
+    fn merge_updates_in_place() {
+        let dir = std::env::temp_dir().join("criterion-json-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let _ = fs::remove_file(&path);
+        merge_entry(&path, "g/a", 10.0).unwrap();
+        merge_entry(&path, "g/b", 20.0).unwrap();
+        merge_entry(&path, "g/a", 15.0).unwrap();
+        let got = parse_flat_map(&fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            got,
+            vec![("g/a".to_string(), 15.0), ("g/b".to_string(), 20.0)]
+        );
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -6,11 +6,20 @@
 //! plain wall-clock measurement: warm up for the configured time, then take
 //! `sample_size` samples (each a batch of iterations sized to fill the
 //! measurement window) and report min/median/mean nanoseconds per iteration
-//! as text. No statistics, plots, or baselines — swap the path dependency for
-//! the registry crate to get the real analysis.
+//! as text. No statistics, plots, or distribution comparisons — swap the
+//! path dependency for the registry crate to get the real analysis.
+//!
+//! One extension beyond the real crate's surface: per-target median-ns JSON
+//! emission for the baseline-regression harness (`iac-bench`'s `baseline`
+//! binary). Set the `CRITERION_JSON` environment variable to a file path —
+//! or call [`Criterion::json_output`] — and every completed target merges
+//! `"group/id": median_ns` into that flat JSON map (see [`json`]).
 
 use std::fmt::Display;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+pub mod json;
 
 /// Re-export of `std::hint::black_box`, criterion's optimization barrier.
 pub use std::hint::black_box;
@@ -21,6 +30,7 @@ pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    json_path: Option<PathBuf>,
 }
 
 impl Default for Criterion {
@@ -29,6 +39,7 @@ impl Default for Criterion {
             sample_size: 100,
             measurement_time: Duration::from_secs(5),
             warm_up_time: Duration::from_secs(3),
+            json_path: std::env::var_os("CRITERION_JSON").map(PathBuf::from),
         }
     }
 }
@@ -50,6 +61,14 @@ impl Criterion {
     /// Set the warm-up window per benchmark.
     pub fn warm_up_time(mut self, t: Duration) -> Self {
         self.warm_up_time = t;
+        self
+    }
+
+    /// Merge each completed target's median into the flat JSON map at
+    /// `path` (also switched on by the `CRITERION_JSON` environment
+    /// variable; `None` disables emission).
+    pub fn json_output(mut self, path: Option<PathBuf>) -> Self {
+        self.json_path = path;
         self
     }
 
@@ -133,6 +152,12 @@ impl BenchmarkGroup<'_> {
         };
         f(&mut bencher);
         bencher.report(&self.name, &id.id);
+        if let (Some(path), Some(median)) = (&self.criterion.json_path, bencher.median_ns()) {
+            let target = format!("{}/{}", self.name, id.id);
+            if let Err(e) = json::merge_entry(path, &target, median) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
     }
 }
 
@@ -170,6 +195,17 @@ impl Bencher {
             let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
             self.samples_ns.push(ns);
         }
+    }
+
+    /// Median of the recorded samples, ns per iteration (`None` before any
+    /// [`Bencher::iter`] call).
+    pub fn median_ns(&self) -> Option<f64> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Some(sorted[sorted.len() / 2])
     }
 
     fn report(&self, group: &str, id: &str) {
