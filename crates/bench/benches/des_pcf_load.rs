@@ -10,7 +10,7 @@ fn main() {
         "IAC sustains ~1.5x the uplink load of 802.11-MIMO before p95 latency diverges",
     );
     let sweep_cfg = match scale() {
-        Scale::Paper => des_load::LoadSweepConfig::paper_default(),
+        Scale::Paper => des_load::LoadSweepConfig::paper_default(0x10AD),
         Scale::Quick => des_load::LoadSweepConfig::quick(0x10AD),
     };
     let sweep = des_load::run(&sweep_cfg);
@@ -31,7 +31,7 @@ fn main() {
     }
     println!();
     let campus_cfg = match scale() {
-        Scale::Paper => des_campus::CampusConfig::paper_default(),
+        Scale::Paper => des_campus::CampusConfig::paper_default(0x1AC_DE5),
         Scale::Quick => des_campus::CampusConfig::quick(0x1AC_DE5),
     };
     println!("{}", des_campus::run(&campus_cfg));

@@ -1,6 +1,7 @@
 //! Regenerates Fig. 15a: whole-testbed uplink per-client gain CDFs for the
 //! three concurrency algorithms.
 use iac_bench::{header, scale, Scale};
+use iac_sim::experiment::DEFAULT_SEED;
 use iac_sim::scenarios::fig15::{run, Direction15, Fig15Config};
 
 fn main() {
@@ -8,7 +9,7 @@ fn main() {
         "Fig. 15a — whole-testbed uplink (17 clients, 3 APs)",
         "avg gains: brute-force 2.32x, FIFO 1.9x, best-of-two 2.08x; brute force unfair",
     );
-    let mut cfg = Fig15Config::paper_default();
+    let mut cfg = Fig15Config::paper_default(DEFAULT_SEED);
     if scale() == Scale::Quick {
         cfg.base.slots = 80;
         cfg.runs = 1;

@@ -1,5 +1,6 @@
 //! Regenerates Fig. 15b: whole-testbed downlink per-client gain CDFs.
 use iac_bench::{header, scale, Scale};
+use iac_sim::experiment::DEFAULT_SEED;
 use iac_sim::scenarios::fig15::{run, Direction15, Fig15Config};
 
 fn main() {
@@ -7,7 +8,7 @@ fn main() {
         "Fig. 15b — whole-testbed downlink (17 clients, 3 APs)",
         "avg gains: brute-force 1.58x, FIFO 1.23x, best-of-two 1.52x",
     );
-    let mut cfg = Fig15Config::paper_default();
+    let mut cfg = Fig15Config::paper_default(DEFAULT_SEED);
     if scale() == Scale::Quick {
         cfg.base.slots = 80;
         cfg.runs = 1;

@@ -11,7 +11,7 @@
 //! [`baseline`] the regression harness behind the `baseline` binary and the
 //! committed `BENCH_*.json` files (see `docs/PERFORMANCE.md`).
 
-use iac_sim::experiment::ExperimentConfig;
+use iac_sim::experiment::{ExperimentConfig, DEFAULT_SEED};
 
 pub mod baseline;
 pub mod micro;
@@ -39,12 +39,12 @@ pub fn experiment_config() -> ExperimentConfig {
         Scale::Paper => ExperimentConfig {
             picks: 40,
             slots: 100,
-            ..ExperimentConfig::paper_default()
+            ..ExperimentConfig::paper_default(DEFAULT_SEED)
         },
         Scale::Quick => ExperimentConfig {
             picks: 8,
             slots: 20,
-            ..ExperimentConfig::paper_default()
+            ..ExperimentConfig::paper_default(DEFAULT_SEED)
         },
     }
 }
@@ -75,7 +75,7 @@ mod tests {
         let paper = ExperimentConfig {
             picks: 40,
             slots: 100,
-            ..ExperimentConfig::paper_default()
+            ..ExperimentConfig::paper_default(DEFAULT_SEED)
         };
         assert!(paper.picks > ExperimentConfig::quick(0).picks);
     }

@@ -169,10 +169,33 @@ pub fn register_linalg(c: &mut Criterion) {
     group.finish();
 }
 
+/// The parallel experiment engine: one registry scenario swept at 1 and 2
+/// workers (regression-gates the engine + registry overhead around the
+/// science), plus the worker pool's raw claim/reduce cost. The scaling
+/// *demonstration* lives in the `parallel_sweep` bench target; these
+/// entries exist so the bench-baseline job gates the machinery.
+pub fn register_parallel_sweep(c: &mut Criterion) {
+    use iac_sim::registry::{self, Quality};
+    let mut group = c.benchmark_group("parallel_sweep");
+    let spec = registry::find("fig14").expect("fig14 registered");
+    for threads in [1usize, 2] {
+        group.bench_with_input(
+            BenchmarkId::new("fig14_quick_r2_threads", threads),
+            &threads,
+            |b, &t| b.iter(|| registry::run_scenario(&spec, Quality::Quick, 0x5EED, 2, t)),
+        );
+    }
+    group.bench_function("engine_dispatch_4k_trials", |b| {
+        b.iter(|| iac_sim::engine::run_trials(4096, 2, |i| (i as u64).wrapping_mul(3)))
+    });
+    group.finish();
+}
+
 /// The groups gated by `BENCH_micro_ops.json`.
 pub fn register_micro(c: &mut Criterion) {
     register_alignment(c);
     register_linalg(c);
+    register_parallel_sweep(c);
 }
 
 /// The groups gated by `BENCH_sample_ops.json`.

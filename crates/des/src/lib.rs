@@ -25,6 +25,14 @@
 //! interact only via events — so a run is bit-reproducible from its `u64`
 //! seed. See `docs/DES.md` for the full argument.
 //!
+//! Threading: a *live* simulation is single-threaded by design (components
+//! share an `Rc`-based metrics log), but every run **description** (configs,
+//! arrival processes) and every run **output** ([`MetricsLog`] and its
+//! records) is `Send`. The parallel experiment engine in `iac-sim` exploits
+//! exactly this: each worker thread constructs, runs, and tears down a whole
+//! simulation locally and ships only plain data back — see
+//! `crates/des/tests/send_construction.rs` and `docs/EXPERIMENTS.md`.
+//!
 //! ## Network model
 //!
 //! * [`traffic`] — Poisson, CBR, and bursty ON/OFF arrival processes.

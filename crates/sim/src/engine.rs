@@ -1,0 +1,163 @@
+//! The deterministic parallel experiment engine.
+//!
+//! The paper's §10 methodology is Monte Carlo: every figure is dozens of
+//! random role picks, and the statistical claims ("IAC's rate is on average
+//! 1.5×") only firm up with many independent channel realizations. This
+//! module turns one scenario run into `replicates` independent **trials**
+//! and spreads them over a scoped-thread worker pool — while keeping the
+//! result **bit-identical to a serial run**, whatever the thread count.
+//!
+//! Determinism rests on two rules:
+//!
+//! 1. **Trial-indexed seeding.** Trial `i` of a run with master seed `m`
+//!    always computes with [`Rng64::derive_seed`]`(m, i)`. A trial's output
+//!    is a pure function of `(m, i)` — no shared RNG, no dependence on which
+//!    worker ran it or when.
+//! 2. **Order-independent reduction.** Workers claim trial indices from a
+//!    shared atomic cursor and keep `(index, output)` pairs locally; the
+//!    reducer merges the per-worker shards and sorts by trial index before
+//!    any aggregation. The reduce input is therefore the same sequence a
+//!    single thread would have produced.
+//!
+//! Construction of non-[`Send`] machinery (e.g. the `Rc`-based metrics log
+//! of `iac-des` simulations) happens *inside* the worker closure, so only
+//! the plain-data outputs ever cross a thread boundary.
+
+use iac_linalg::Rng64;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One unit of work for the pool: a replicate index and the seed that
+/// replicate must use — everything a worker needs, nothing more. The
+/// registry builds these via [`trials_for`] before fanning out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trial {
+    /// Replicate number within the scenario, `0..replicates`.
+    pub replicate: usize,
+    /// Derived seed: `Rng64::derive_seed(scenario_master, replicate)`.
+    pub seed: u64,
+}
+
+/// Build the trial list for one scenario: replicate `i` gets the seed
+/// derived from the scenario's master seed at stream index `i`.
+pub fn trials_for(master_seed: u64, replicates: usize) -> Vec<Trial> {
+    (0..replicates)
+        .map(|replicate| Trial {
+            replicate,
+            seed: Rng64::derive_seed(master_seed, replicate as u64),
+        })
+        .collect()
+}
+
+/// Resolve a requested worker count: `0` means "pick for me" — the
+/// `IAC_TEST_THREADS` environment variable if set (the CI matrix runs the
+/// suite at 1 and 4), otherwise the machine's available parallelism.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var("IAC_TEST_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `n` trials on `threads` workers and return the outputs **in trial
+/// order** — bit-identical to `(0..n).map(run).collect()` for every thread
+/// count, provided `run(i)` is a pure function of `i` (which the seeding
+/// contract guarantees for registry scenarios).
+///
+/// Workers claim indices from a shared atomic cursor (no per-thread
+/// pre-partitioning, so an unlucky shard of slow trials cannot idle the
+/// other workers) and the reducer sorts the merged shards by index.
+pub fn run_trials<T, F>(n: usize, threads: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = resolve_threads(threads).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(run).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut merged: Vec<(usize, T)> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut shard: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        shard.push((i, run(i)));
+                    }
+                    shard
+                })
+            })
+            .collect();
+        for h in handles {
+            merged.extend(h.join().expect("trial worker panicked"));
+        }
+    });
+    // The order-independent reduce: whatever interleaving the workers saw,
+    // the caller observes trial order.
+    merged.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(merged.len(), n);
+    merged.into_iter().map(|(_, t)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trial_order_is_restored_for_every_thread_count() {
+        let serial: Vec<u64> = (0..37).map(|i| Rng64::derive(9, i as u64).next_u64()).collect();
+        for threads in [1, 2, 3, 7, 16] {
+            let parallel = run_trials(37, threads, |i| Rng64::derive(9, i as u64).next_u64());
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn uneven_trial_costs_still_reduce_in_order() {
+        // Early trials sleep, late ones return immediately: workers finish
+        // out of order, the reducer must not care.
+        let out = run_trials(12, 4, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i * 10
+        });
+        assert_eq!(out, (0..12).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_and_one_trials_work() {
+        assert_eq!(run_trials(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_trials(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn trials_for_uses_the_derivation_contract() {
+        let ts = trials_for(77, 4);
+        assert_eq!(ts.len(), 4);
+        for (i, t) in ts.iter().enumerate() {
+            assert_eq!(t.replicate, i);
+            assert_eq!(t.seed, Rng64::derive_seed(77, i as u64));
+        }
+    }
+
+    #[test]
+    fn explicit_thread_request_wins_over_env() {
+        assert_eq!(resolve_threads(5), 5);
+        assert!(resolve_threads(0) >= 1);
+    }
+}

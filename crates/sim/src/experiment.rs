@@ -13,7 +13,24 @@ use iac_core::grid::{ChannelGrid, Direction};
 use iac_core::{baseline, optimize};
 use iac_linalg::{CMat, Rng64};
 
+/// The workspace-wide default master seed (spells "IAC 2009"). Used when a
+/// caller has no seed of its own to thread through; `examples/sweep.rs`
+/// overrides it with `--seed`.
+pub const DEFAULT_SEED: u64 = 0x1AC_2009;
+
 /// Common experiment knobs.
+///
+/// # Seeding contract
+///
+/// `seed` is the **only** source of randomness in a scenario run: testbed
+/// deployment, role picks, channel draws, and estimation noise all flow from
+/// one `Rng64::new(seed)` (or streams derived from it via
+/// [`iac_linalg::Rng64::derive_seed`]). Both constructors therefore take the
+/// seed explicitly — [`ExperimentConfig::paper_default`] no less than
+/// [`ExperimentConfig::quick`] — so a caller-supplied master seed (e.g.
+/// `sweep --seed`) reaches every scenario instead of being silently replaced
+/// by a hard-coded constant. Pass [`DEFAULT_SEED`] to reproduce the numbers
+/// recorded in the committed goldens and docs.
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {
     /// Master seed: every run is bit-reproducible from it.
@@ -31,10 +48,10 @@ pub struct ExperimentConfig {
 }
 
 impl ExperimentConfig {
-    /// Paper-scale defaults (full figure quality).
-    pub fn paper_default() -> Self {
+    /// Paper-scale defaults (full figure quality), reproducible from `seed`.
+    pub fn paper_default(seed: u64) -> Self {
         Self {
-            seed: 0x1AC_2009,
+            seed,
             picks: 40,
             slots: 100,
             est: EstimationConfig::paper_default(),

@@ -10,6 +10,12 @@
 //!
 //! * [`testbed`] — node placement and per-experiment channel grids.
 //! * [`experiment`] — the shared baseline-vs-IAC measurement loop.
+//! * [`engine`] — the deterministic parallel trial runner: scoped-thread
+//!   worker pool, trial-indexed seed derivation, order-independent reduce
+//!   (N-thread output is bit-identical to serial).
+//! * [`registry`] — the unified scenario registry: every scenario behind
+//!   one `(Quality, seed) → metrics` entry point, replicated through the
+//!   engine and reduced to `mean ± 95 % CI` (see `docs/EXPERIMENTS.md`).
 //! * [`stats`] — means, CDFs, scatter series, ASCII/CSV rendering.
 //! * [`samplelevel`] — the full sample-level IAC decode chain on the
 //!   `iac-phy` radio (training → alignment → concurrent packets → projection
@@ -25,15 +31,19 @@
 //! * [`metrics`] — latency CDFs, sliding-window throughput, Jain fairness
 //!   over a discrete-event run's raw records.
 
+pub mod engine;
 pub mod experiment;
 pub mod metrics;
 pub mod netsim;
+pub mod registry;
 pub mod samplelevel;
 pub mod scenarios;
 pub mod stats;
 pub mod testbed;
 
-pub use experiment::{ExperimentConfig, ScatterPoint};
+pub use engine::{run_trials, Trial};
+pub use experiment::{ExperimentConfig, ScatterPoint, DEFAULT_SEED};
 pub use netsim::{CalibratedPhy, NetSim, NetSimOutcome, SourceSpec};
-pub use stats::{cdf_points, mean, Summary};
+pub use registry::{Quality, Scenario, ScenarioReport, TrialOutput};
+pub use stats::{cdf_points, ci95_half_width, mean, Summary};
 pub use testbed::Testbed;

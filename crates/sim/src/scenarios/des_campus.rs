@@ -45,10 +45,10 @@ pub struct CampusConfig {
 }
 
 impl CampusConfig {
-    /// Full-quality defaults.
-    pub fn paper_default() -> Self {
+    /// Full-quality defaults, reproducible from `seed`.
+    pub fn paper_default(seed: u64) -> Self {
         Self {
-            seed: 0x1AC_DE5,
+            seed,
             n_clients: 9,
             uplink_pps: 350.0,
             n_downlink: 3,

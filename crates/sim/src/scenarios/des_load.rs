@@ -51,10 +51,10 @@ pub struct LoadSweepConfig {
 }
 
 impl LoadSweepConfig {
-    /// Full-quality defaults.
-    pub fn paper_default() -> Self {
+    /// Full-quality defaults, reproducible from `seed`.
+    pub fn paper_default(seed: u64) -> Self {
         Self {
-            seed: 0x10AD,
+            seed,
             n_clients: 6,
             loads_pps: vec![150.0, 300.0, 450.0, 550.0, 650.0, 800.0, 1000.0],
             horizon_ms: 400.0,

@@ -73,12 +73,12 @@ pub struct Fig15Config {
 }
 
 impl Fig15Config {
-    /// Paper-scale configuration.
-    pub fn paper_default() -> Self {
+    /// Paper-scale configuration, reproducible from `seed`.
+    pub fn paper_default(seed: u64) -> Self {
         Self {
             base: ExperimentConfig {
                 slots: 1000,
-                ..ExperimentConfig::paper_default()
+                ..ExperimentConfig::paper_default(seed)
             },
             n_clients: 17,
             n_aps: 3,

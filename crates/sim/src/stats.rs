@@ -9,6 +9,47 @@ pub fn mean(xs: &[f64]) -> f64 {
     }
 }
 
+/// Sample standard deviation (Bessel-corrected; 0 for fewer than 2 points).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Two-sided 97.5 % Student-t critical values for df = 1..=30; beyond the
+/// table a first-order Cornish–Fisher expansion around the normal quantile
+/// (`z + (z³+z)/(4·df)`) stays within 0.2 % of the true value.
+const T_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// Half-width of the 95 % confidence interval on the mean of `xs`
+/// (Student-t with `n − 1` degrees of freedom; 0 for fewer than 2 points).
+///
+/// This is what the experiment registry reports next to every replicated
+/// metric: `mean ± ci95_half_width`. The paper's gains are statistical
+/// claims; the interval says how many replicates back a headline number.
+pub fn ci95_half_width(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let df = xs.len() - 1;
+    let t = if df <= T_975.len() {
+        T_975[df - 1]
+    } else {
+        // Cornish–Fisher around z = Φ⁻¹(0.975): continuous in df and
+        // monotone down to the table's last entry (2.042 at df = 30).
+        const Z: f64 = 1.959_964;
+        Z + (Z * Z * Z + Z) / (4.0 * df as f64)
+    };
+    t * std_dev(xs) / (xs.len() as f64).sqrt()
+}
+
 /// Empirical CDF: sorted `(value, fraction ≤ value)` points.
 pub fn cdf_points(xs: &[f64]) -> Vec<(f64, f64)> {
     let mut sorted: Vec<f64> = xs.to_vec();
@@ -179,6 +220,32 @@ mod tests {
     fn mean_basic() {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn std_dev_and_ci() {
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert_eq!(ci95_half_width(&[5.0]), 0.0);
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = std_dev(&xs);
+        assert!((s - 2.138).abs() < 1e-3, "std dev {s}");
+        // df = 7 → t = 2.365; half-width = t·s/√8.
+        let hw = ci95_half_width(&xs);
+        assert!((hw - 2.365 * s / 8f64.sqrt()).abs() < 1e-12, "ci {hw}");
+        // Beyond the table the Cornish–Fisher expansion takes over: for
+        // df = 99 the true t is 1.9842; the expansion must land within
+        // 0.2 % and stay above the plain normal quantile.
+        let big: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let hw_big = ci95_half_width(&big);
+        let t_big = hw_big / (std_dev(&big) / 10.0);
+        assert!((t_big - 1.9842).abs() < 0.004, "t(99) approx {t_big}");
+        // Continuity at the table boundary: t(31) just below t(30).
+        let t31 = {
+            let xs: Vec<f64> = (0..32).map(|i| i as f64).collect();
+            ci95_half_width(&xs) / (std_dev(&xs) / 32f64.sqrt())
+        };
+        assert!((t31 - 2.0395).abs() < 0.005, "t(31) approx {t31}");
+        assert!(t31 < 2.042 && t31 > 1.96);
     }
 
     #[test]

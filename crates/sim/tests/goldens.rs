@@ -1,0 +1,102 @@
+//! Golden snapshot tests for scenario outputs.
+//!
+//! Each gated scenario's `quick()`-config sweep (2 replicates, master seed
+//! [`iac_sim::DEFAULT_SEED`]) is serialized to compact JSON and compared
+//! byte-for-byte against the committed file in `tests/goldens/`. A refactor
+//! that silently changes the science — a reordered RNG draw, a tweaked
+//! estimator, an off-by-one in a slot loop — fails here loudly instead of
+//! shipping different numbers under the same name.
+//!
+//! Regeneration (after an *intentional* change, reviewed like code):
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test -p iac-sim --test goldens
+//! ```
+//!
+//! The snapshots are thread-count-invariant by construction (see
+//! `engine_parallel.rs`), so this suite behaves identically under any
+//! `IAC_TEST_THREADS` setting.
+
+use iac_sim::registry::{self, Quality};
+use iac_sim::DEFAULT_SEED;
+use std::path::PathBuf;
+
+/// Scenarios gated by a committed snapshot: the figure sweeps, the §6
+/// practicality checks, and the DES offered-load sweep.
+const GOLDEN_SCENARIOS: [&str; 11] = [
+    "fig12",
+    "fig13a",
+    "fig13b",
+    "fig14",
+    "fig15a",
+    "fig15b",
+    "fig16",
+    "sec6_cfo",
+    "sec6_modulation",
+    "sec6_ofdm",
+    "des_load",
+];
+
+const REPLICATES: usize = 2;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(format!("{name}.json"))
+}
+
+#[test]
+fn scenario_outputs_match_committed_goldens() {
+    let update = std::env::var("UPDATE_GOLDENS").is_ok_and(|v| v == "1");
+    let mut mismatches = Vec::new();
+    for name in GOLDEN_SCENARIOS {
+        let spec = registry::find(name).unwrap_or_else(|| panic!("{name} not registered"));
+        let report = registry::run_scenario(&spec, Quality::Quick, DEFAULT_SEED, REPLICATES, 0);
+        let got = report.to_json() + "\n";
+        let path = golden_path(name);
+        if update {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(want) if want == got => {}
+            Ok(want) => mismatches.push(format!(
+                "{name}: output changed\n  committed: {}\n  current:   {}",
+                want.trim_end(),
+                got.trim_end()
+            )),
+            Err(e) => mismatches.push(format!(
+                "{name}: cannot read {} ({e}); run UPDATE_GOLDENS=1 cargo test -p iac-sim --test goldens",
+                path.display()
+            )),
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden snapshot mismatches — if the change is intentional, regenerate with \
+         UPDATE_GOLDENS=1 and commit the diff:\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn goldens_directory_has_no_orphans() {
+    // A retired scenario must take its snapshot with it, or the directory
+    // rots into an unverifiable pile.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens");
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return; // nothing committed yet (first UPDATE_GOLDENS run pending)
+    };
+    for entry in entries.flatten() {
+        let fname = entry.file_name();
+        let fname = fname.to_string_lossy();
+        let Some(stem) = fname.strip_suffix(".json") else {
+            panic!("unexpected file in goldens/: {fname}");
+        };
+        assert!(
+            GOLDEN_SCENARIOS.contains(&stem),
+            "orphan golden {fname}: not in GOLDEN_SCENARIOS"
+        );
+    }
+}

@@ -6,14 +6,14 @@
 //!
 //! Run with: `cargo run --release --example campus_uplink`
 
-use iac_sim::experiment::ExperimentConfig;
+use iac_sim::experiment::{ExperimentConfig, DEFAULT_SEED};
 use iac_sim::scenarios::{fig12, fig13};
 
 fn main() {
     let cfg = ExperimentConfig {
         picks: 24,
         slots: 60,
-        ..ExperimentConfig::paper_default()
+        ..ExperimentConfig::paper_default(DEFAULT_SEED)
     };
 
     println!("=== 2 clients / 2 APs, three concurrent packets ===\n");

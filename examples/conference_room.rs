@@ -6,10 +6,11 @@
 //!
 //! Run with: `cargo run --release --example conference_room`
 
+use iac_sim::experiment::DEFAULT_SEED;
 use iac_sim::scenarios::fig15::{run, Direction15, Fig15Config};
 
 fn main() {
-    let mut cfg = Fig15Config::paper_default();
+    let mut cfg = Fig15Config::paper_default(DEFAULT_SEED);
     // Example-sized run (the bench target runs the paper-scale version).
     cfg.base.slots = 250;
     cfg.runs = 1;

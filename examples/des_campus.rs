@@ -16,7 +16,7 @@ use iac_sim::scenarios::des_campus::{run, CampusConfig};
 fn main() {
     let cfg = CampusConfig {
         horizon_ms: 300.0,
-        ..CampusConfig::paper_default()
+        ..CampusConfig::paper_default(0x1AC_DE5)
     };
     println!("=== dynamic-arrival campus uplink, {} ms of simulated time ===\n", cfg.horizon_ms);
     println!(

@@ -3,14 +3,14 @@
 //!
 //! Run with: `cargo run --release --example diversity_and_mesh`
 
-use iac_sim::experiment::ExperimentConfig;
+use iac_sim::experiment::{ExperimentConfig, DEFAULT_SEED};
 use iac_sim::scenarios::{clustered, fig14};
 
 fn main() {
     let cfg = ExperimentConfig {
         picks: 20,
         slots: 60,
-        ..ExperimentConfig::paper_default()
+        ..ExperimentConfig::paper_default(DEFAULT_SEED)
     };
 
     println!("=== Fig. 14 — one client, two APs: pure diversity gain ===\n");
@@ -19,7 +19,7 @@ fn main() {
     println!("\n=== Fig. 17 — clustered MIMO mesh bottleneck ===\n");
     let mesh_cfg = ExperimentConfig {
         slots: 80,
-        ..ExperimentConfig::paper_default()
+        ..ExperimentConfig::paper_default(DEFAULT_SEED)
     };
     // Weak 6 dB inter-cluster links ("6Mbps"), fast intra-cluster links
     // ("54Mbps" ≈ 20 b/s/Hz at these bandwidths).

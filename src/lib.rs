@@ -21,8 +21,10 @@
 //!   policies, and the extended-PCF protocol simulation.
 //! * [`des`] — the deterministic discrete-event engine: simulated time,
 //!   stochastic traffic sources, and the event-driven extended-PCF MAC.
-//! * [`sim`] — the testbed, the per-figure experiment scenarios, and the
-//!   time-domain (latency/churn/offered-load) scenarios.
+//! * [`sim`] — the testbed, the per-figure experiment scenarios, the
+//!   time-domain (latency/churn/offered-load) scenarios, and the
+//!   deterministic parallel experiment engine with its unified scenario
+//!   registry (`examples/sweep.rs` is the CLI).
 //!
 //! ## Quickstart
 //!
@@ -70,6 +72,7 @@ pub mod prelude {
     pub use iac_core::solver::{AlignmentProblem, SolverConfig};
     pub use iac_des::{EventPcf, EventPcfConfig, SimTime, Simulation};
     pub use iac_linalg::{C64, CMat, CVec, Rng64};
-    pub use iac_sim::experiment::ExperimentConfig;
+    pub use iac_sim::experiment::{ExperimentConfig, DEFAULT_SEED};
+    pub use iac_sim::registry::{self, Quality};
     pub use iac_sim::Testbed;
 }

@@ -1,0 +1,311 @@
+//! Cross-plane equivalence: the slot-level `PcfSim` and the event-driven
+//! `EventPcf` implement the same §7.1 protocol — beacon with deferred uplink
+//! ACK map, downlink DATA+Poll groups with synchronous acks, uplink Grant
+//! groups with Ethernet forwarding, retransmission budgets. Until now the
+//! two MACs agreed by convention only; this suite pins the convention.
+//!
+//! Method: both planes are driven with the **same scripted PHY** (outcome a
+//! pure function of `(client, direction, attempt#)` — no RNG), the same
+//! topology (3 APs, FIFO policies, identical `PcfConfig`) and the same
+//! offered packets in the same order. They must then agree on
+//!
+//! * delivered-packet counts (total, per direction, per client),
+//! * retransmission behaviour (the exact PHY attempt trace and the
+//!   retx-budget drop count),
+//! * per-client throughput ordering,
+//! * wire forwards (every decoded uplink packet crosses the hub once).
+
+use iac_lan::des::net::NetEvent;
+use iac_lan::des::pcf::{EventPcf, EventPcfConfig};
+use iac_lan::des::{SharedMetrics, SimTime, Simulation, WiredSink};
+use iac_lan::linalg::Rng64;
+use iac_lan::mac::concurrency::FifoPolicy;
+use iac_lan::mac::pcf::{PacketResult, PcfConfig, PcfSim, PhyOutcome};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// One PHY attempt: `(client, uplink?, attempt#, ok?)`.
+type Attempt = (u16, bool, u32, bool);
+
+/// A deterministic PHY scripted by `(client, direction, attempt#)`:
+/// attempt `k` of a client/direction fails iff the script lists it. Both
+/// planes get their own instance; the recorded traces must coincide.
+#[derive(Clone)]
+struct ScriptedPhy {
+    /// `(client, uplink) → attempts so far`.
+    counters: Rc<RefCell<BTreeMap<(u16, bool), u32>>>,
+    /// Failing `(client, uplink, attempt#)` triples; `attempt# == u32::MAX`
+    /// means "every attempt".
+    failures: Vec<(u16, bool, u32)>,
+    trace: Rc<RefCell<Vec<Attempt>>>,
+    n_aps: u16,
+}
+
+impl ScriptedPhy {
+    fn new(failures: Vec<(u16, bool, u32)>, n_aps: u16) -> Self {
+        Self {
+            counters: Rc::new(RefCell::new(BTreeMap::new())),
+            failures,
+            trace: Rc::new(RefCell::new(Vec::new())),
+            n_aps,
+        }
+    }
+
+    fn group(&mut self, clients: &[u16], uplink: bool) -> Vec<PacketResult> {
+        clients
+            .iter()
+            .map(|&c| {
+                let mut counters = self.counters.borrow_mut();
+                let attempt = counters.entry((c, uplink)).or_insert(0);
+                let k = *attempt;
+                *attempt += 1;
+                drop(counters);
+                let ok = !self
+                    .failures
+                    .iter()
+                    .any(|&(fc, fu, fk)| fc == c && fu == uplink && (fk == k || fk == u32::MAX));
+                self.trace.borrow_mut().push((c, uplink, k, ok));
+                PacketResult {
+                    client: c,
+                    seq: 0,
+                    sinr: 11.0,
+                    ok,
+                    // Decoding AP chosen deterministically — no RNG, so both
+                    // planes forward from the same port.
+                    ap: c % self.n_aps,
+                }
+            })
+            .collect()
+    }
+}
+
+impl PhyOutcome for ScriptedPhy {
+    fn downlink_group(&mut self, clients: &[u16], _rng: &mut Rng64) -> Vec<PacketResult> {
+        self.group(clients, false)
+    }
+    fn uplink_group(&mut self, clients: &[u16], _rng: &mut Rng64) -> Vec<PacketResult> {
+        self.group(clients, true)
+    }
+}
+
+/// What a plane reports after quiescing.
+#[derive(Debug, PartialEq)]
+struct PlaneOutcome {
+    delivered_up: u64,
+    delivered_down: u64,
+    dropped: u64,
+    /// `(client, delivered)` sorted by client id.
+    per_client: Vec<(u16, u64)>,
+    /// The complete PHY attempt trace, in service order.
+    attempts: Vec<Attempt>,
+    wire_packets: u64,
+}
+
+impl PlaneOutcome {
+    /// Clients ordered by delivered throughput, descending (ties by id):
+    /// the "per-client throughput ordering" the planes must agree on.
+    fn throughput_order(&self) -> Vec<u16> {
+        let mut by_count = self.per_client.clone();
+        by_count.sort_by_key(|&(c, n)| (std::cmp::Reverse(n), c));
+        by_count.into_iter().map(|(c, _)| c).collect()
+    }
+}
+
+/// One matched scenario: protocol config, offered packets (in offer order),
+/// and the failure script.
+struct Matched {
+    cfg: PcfConfig,
+    /// `(client, seq, uplink)` in offer order.
+    offers: Vec<(u16, u16, bool)>,
+    failures: Vec<(u16, bool, u32)>,
+}
+
+/// Drive the slot-level plane to quiescence: offer everything up front, then
+/// run a generous fixed number of CFPs (idle CFPs are no-ops).
+fn run_slot_plane(m: &Matched) -> PlaneOutcome {
+    let phy = ScriptedPhy::new(m.failures.clone(), m.cfg.n_aps);
+    let trace = phy.trace.clone();
+    let mut sim = PcfSim::new(
+        m.cfg.clone(),
+        phy,
+        Box::new(FifoPolicy),
+        Box::new(FifoPolicy),
+    );
+    for &(client, seq, uplink) in &m.offers {
+        if uplink {
+            sim.offer_uplink(client, seq);
+        } else {
+            sim.offer_downlink(client, seq);
+        }
+    }
+    let mut rng = Rng64::new(0);
+    for _ in 0..40 {
+        let _ = sim.run_cfp(&mut rng);
+    }
+    let mut per_client: Vec<(u16, u64)> = sim
+        .stats
+        .per_client_delivered
+        .iter()
+        .map(|(&c, &n)| (c, n))
+        .collect();
+    per_client.sort_unstable_by_key(|&(c, _)| c);
+    PlaneOutcome {
+        delivered_up: sim.stats.uplink_delivered,
+        delivered_down: sim.stats.downlink_delivered,
+        dropped: sim.stats.dropped,
+        per_client,
+        attempts: { let a = trace.borrow().clone(); a },
+        wire_packets: sim.hub().packets_broadcast(),
+    }
+}
+
+/// Drive the event-driven plane to quiescence: inject the same offers as
+/// `Arrival` events at t = 0 (insertion order = offer order), give the MAC a
+/// horizon long enough to quiesce, and drain the event queue.
+fn run_des_plane(m: &Matched) -> PlaneOutcome {
+    let phy = ScriptedPhy::new(m.failures.clone(), m.cfg.n_aps);
+    let trace = phy.trace.clone();
+    let mut sim: Simulation<NetEvent> = Simulation::new(0);
+    let metrics = SharedMetrics::new();
+    let sinks: Vec<_> = (0..m.cfg.n_aps)
+        .map(|a| sim.add_component(format!("sink{a}"), WiredSink::new(metrics.clone())))
+        .collect();
+    let cfg = EventPcfConfig {
+        protocol: m.cfg.clone(),
+        horizon: SimTime::from_millis(150.0),
+        ..EventPcfConfig::default()
+    };
+    let mac = sim.add_component(
+        "leader",
+        EventPcf::new(
+            cfg,
+            phy,
+            Box::new(FifoPolicy),
+            Box::new(FifoPolicy),
+            sinks,
+            metrics.clone(),
+        ),
+    );
+    for &(client, seq, uplink) in &m.offers {
+        sim.schedule(SimTime::ZERO, mac, NetEvent::Arrival { client, seq, uplink });
+    }
+    sim.schedule(SimTime::ZERO, mac, NetEvent::CfpStart);
+    sim.step_until_no_events();
+    let log = metrics.snapshot();
+    PlaneOutcome {
+        delivered_up: log.delivered_count(true),
+        delivered_down: log.delivered_count(false),
+        dropped: log.drops_retx,
+        per_client: log.per_client_delivered(),
+        attempts: { let a = trace.borrow().clone(); a },
+        wire_packets: log.wire_packets,
+    }
+}
+
+fn assert_planes_agree(m: &Matched) -> PlaneOutcome {
+    let slot = run_slot_plane(m);
+    let des = run_des_plane(m);
+    assert_eq!(
+        slot.delivered_up, des.delivered_up,
+        "uplink delivery diverged: slot {slot:?} vs des {des:?}"
+    );
+    assert_eq!(
+        slot.delivered_down, des.delivered_down,
+        "downlink delivery diverged"
+    );
+    assert_eq!(slot.dropped, des.dropped, "retx-budget drops diverged");
+    assert_eq!(slot.per_client, des.per_client, "per-client delivery diverged");
+    assert_eq!(
+        slot.throughput_order(),
+        des.throughput_order(),
+        "per-client throughput ordering diverged"
+    );
+    assert_eq!(
+        slot.attempts, des.attempts,
+        "PHY attempt traces diverged — grouping or retransmission logic drifted"
+    );
+    assert_eq!(slot.wire_packets, des.wire_packets, "hub forwards diverged");
+    slot
+}
+
+/// Matched scenario 1 — clean saturated uplink: 6 clients, 2 packets each,
+/// lossless PHY. Everything delivers, nothing retransmits.
+#[test]
+fn clean_uplink_plane_equivalence() {
+    let mut offers = Vec::new();
+    for round in 0..2u16 {
+        for c in 0..6u16 {
+            offers.push((c, round * 100 + c, true));
+        }
+    }
+    let out = assert_planes_agree(&Matched {
+        cfg: PcfConfig::default(),
+        offers,
+        failures: vec![],
+    });
+    assert_eq!(out.delivered_up, 12);
+    assert_eq!(out.dropped, 0);
+    assert_eq!(out.wire_packets, 12);
+    assert!(out.attempts.iter().all(|&(_, up, k, ok)| up && k < 2 && ok));
+}
+
+/// Matched scenario 2 — lossy bidirectional traffic: scripted first-attempt
+/// losses in both directions force retransmissions through both planes'
+/// (deferred-uplink-ack vs synchronous-downlink-ack) recovery paths.
+#[test]
+fn lossy_bidirectional_plane_equivalence() {
+    let mut offers = Vec::new();
+    for c in 0..5u16 {
+        offers.push((c, c, true));
+        offers.push((c, 50 + c, false));
+        offers.push((c, 10 + c, true));
+    }
+    let out = assert_planes_agree(&Matched {
+        cfg: PcfConfig::default(),
+        offers,
+        failures: vec![
+            (1, true, 0),  // client 1's first uplink attempt lost
+            (2, true, 0),  // client 2 loses two uplink attempts in a row
+            (2, true, 1),
+            (4, false, 0), // client 4's first downlink attempt lost
+        ],
+    });
+    assert_eq!(out.delivered_up, 10, "all uplink packets recover via retx");
+    assert_eq!(out.delivered_down, 5);
+    assert_eq!(out.dropped, 0);
+    // The failures really happened (4 failed attempts in the trace).
+    assert_eq!(out.attempts.iter().filter(|a| !a.3).count(), 4);
+}
+
+/// Matched scenario 3 — a black-hole client: client 3 fails every uplink
+/// attempt and must exhaust its retransmission budget identically in both
+/// planes (same drop count, same attempt count = retx_limit + 1 per packet),
+/// while the healthy clients' throughput ordering is preserved.
+#[test]
+fn retx_budget_exhaustion_plane_equivalence() {
+    let cfg = PcfConfig {
+        retx_limit: 2,
+        ..PcfConfig::default()
+    };
+    let mut offers = Vec::new();
+    for c in 0..4u16 {
+        offers.push((c, c, true));
+    }
+    offers.push((0, 40, true)); // client 0 offers a second packet
+    let out = assert_planes_agree(&Matched {
+        cfg,
+        offers,
+        failures: vec![(3, true, u32::MAX)],
+    });
+    assert_eq!(out.delivered_up, 4, "healthy clients all deliver");
+    assert_eq!(out.dropped, 1, "black-hole packet dropped after the budget");
+    // retx_limit = 2 → 3 attempts for the doomed packet.
+    assert_eq!(
+        out.attempts.iter().filter(|&&(c, _, _, ok)| c == 3 && !ok).count(),
+        3
+    );
+    // Client 0 (two packets) tops the throughput ordering; client 3 absent.
+    assert_eq!(out.throughput_order().first(), Some(&0));
+    assert!(!out.throughput_order().contains(&3));
+}
