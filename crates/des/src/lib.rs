@@ -25,6 +25,13 @@
 //! interact only via events — so a run is bit-reproducible from its `u64`
 //! seed. See `docs/DES.md` for the full argument.
 //!
+//! Record/replay: the [`log`] module captures every fired event of a run
+//! into a compact versioned binary log (via a passive
+//! [`simulation::EventObserver`] tap), replays a log against a freshly
+//! built simulation with bit-exact verification, and diffs two logs down to
+//! the first divergent event — see `docs/DES.md` § "Record/replay & log
+//! diff".
+//!
 //! Threading: a *live* simulation is single-threaded by design (components
 //! share an `Rc`-based metrics log), but every run **description** (configs,
 //! arrival processes) and every run **output** ([`MetricsLog`] and its
@@ -66,6 +73,7 @@
 //! ```
 
 pub mod event;
+pub mod log;
 pub mod metrics;
 pub mod net;
 pub mod pcf;
@@ -75,11 +83,12 @@ pub mod time;
 pub mod traffic;
 
 pub use event::{ComponentId, Event, EventId};
+pub use log::{Divergence, EventCodec, EventLog, EventRecorder, Replayer};
 pub use metrics::{MetricsLog, PacketRecord, QueueDepthSample, SharedMetrics};
 pub use net::{NetEvent, TrafficSource, WiredSink};
 pub use pcf::{EventPcf, EventPcfConfig};
 pub use queue::EventQueue;
-pub use simulation::{Ctx, EventHandler, Simulation, EXTERNAL};
+pub use simulation::{Ctx, EventHandler, EventObserver, Simulation, EXTERNAL};
 pub use time::SimTime;
 pub use traffic::ArrivalProcess;
 

@@ -1,0 +1,100 @@
+//! Log diff: align two recorded event logs and report where they diverge.
+//!
+//! Two runs of the same deterministic scenario produce byte-identical logs;
+//! when they don't (a seed changed, a handler was edited, a nondeterminism
+//! bug crept in), the interesting question is *where history forked* — the
+//! first fired event at which the two runs disagree. Everything after that
+//! point is downstream noise. [`diff_logs`] finds that index and
+//! [`render_diff`] prints it with a window of context from both logs,
+//! payloads decoded via the event type's [`EventCodec`].
+
+use super::codec::{EventCodec, EventLog};
+use super::replay::{context_window, Divergence, CONTEXT_WINDOW};
+
+/// The comparison of two logs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogDiff {
+    /// Same length, every record equal.
+    Identical {
+        /// Events in each log.
+        events: u64,
+    },
+    /// The logs disagree; `divergence.expected` comes from the first log,
+    /// `divergence.got` from the second.
+    Diverged(Divergence),
+}
+
+impl LogDiff {
+    /// Whether the logs matched completely.
+    pub fn is_identical(&self) -> bool {
+        matches!(self, LogDiff::Identical { .. })
+    }
+}
+
+/// Compare two logs record by record and locate the first divergence.
+///
+/// A record differs if any framing field (id, time bits, src, dst) or any
+/// payload byte differs. If one log is a strict prefix of the other, the
+/// divergence sits at the shorter log's length with the missing side `None`.
+pub fn diff_logs(a: &EventLog, b: &EventLog) -> LogDiff {
+    let n = a.records.len().max(b.records.len());
+    for i in 0..n {
+        let ra = a.records.get(i);
+        let rb = b.records.get(i);
+        if ra != rb {
+            // Context comes from whichever log still has records there.
+            let source = if ra.is_some() { a } else { b };
+            return LogDiff::Diverged(Divergence {
+                index: i as u64,
+                expected: ra.cloned(),
+                got: rb.cloned(),
+                context: context_window(source, i as u64),
+            });
+        }
+    }
+    LogDiff::Identical {
+        events: a.records.len() as u64,
+    }
+}
+
+/// Render a diff for humans: identical-summary, or the first divergent
+/// event with up to [`CONTEXT_WINDOW`] records of context from *each* log,
+/// payloads decoded as `E`.
+pub fn render_diff<E: EventCodec + std::fmt::Debug>(a: &EventLog, b: &EventLog) -> String {
+    match diff_logs(a, b) {
+        LogDiff::Identical { events } => {
+            format!("logs identical: {events} event(s)\n")
+        }
+        LogDiff::Diverged(d) => {
+            let mut out = String::new();
+            out.push_str(&format!(
+                "logs diverge at event {} (log A: {} event(s), log B: {} event(s))\n",
+                d.index,
+                a.len(),
+                b.len()
+            ));
+            let idx = d.index as usize;
+            let lo = idx.saturating_sub(CONTEXT_WINDOW);
+            let hi = (idx + CONTEXT_WINDOW + 1).max(idx + 1);
+            for (label, log) in [("A", a), ("B", b)] {
+                out.push_str(&format!("--- log {label} ---\n"));
+                let upper = hi.min(log.records.len());
+                if lo >= upper {
+                    out.push_str("  <no records in window>\n");
+                    continue;
+                }
+                for i in lo..upper {
+                    let marker = if i == idx { ">>" } else { "  " };
+                    out.push_str(&format!(
+                        "  {marker} [{i}] {}\n",
+                        log.records[i].describe::<E>()
+                    ));
+                }
+                if upper <= idx {
+                    out.push_str(&format!("  >> [{}] <log ends here>\n", log.records.len()));
+                }
+            }
+            out
+        }
+    }
+}

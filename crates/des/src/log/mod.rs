@@ -1,0 +1,71 @@
+//! Event-log record/replay: capture every fired event of a deterministic
+//! run, re-execute it under verification, and diff recordings.
+//!
+//! Three pieces:
+//!
+//! - [`codec`] — the versioned binary wire format ([`EventLog`],
+//!   [`EventRecord`], the [`EventCodec`] payload trait, typed
+//!   [`CodecError`]s for every malformed-input path).
+//! - [`record`] — [`EventRecorder`], an
+//!   [`EventObserver`](crate::simulation::EventObserver) that streams each
+//!   fired event to an `io::Write` sink in bounded memory. Detached
+//!   recording costs the simulation nothing but a branch.
+//! - [`replay`] / [`diff`] — [`Replayer`] re-drives a freshly built
+//!   simulation and asserts every fired event matches the recording
+//!   (bit-for-bit, including `f64` time bits), yielding a bit-identical
+//!   [`MetricsLog`](crate::MetricsLog) on success and a precise
+//!   [`Divergence`] (first mismatching event plus context) on failure;
+//!   [`diff_logs`]/[`render_diff`] do the same alignment between two
+//!   recordings.
+//!
+//! ```
+//! use iac_des::prelude::*;
+//! use iac_des::log::{EventCodec, EventLog, EventRecorder, Replayer};
+//! # use iac_des::log::CodecError;
+//! # use bytes::{Buf, BufMut, Bytes, BytesMut};
+//! #[derive(Debug, Clone, PartialEq)]
+//! struct Tick;
+//! impl EventCodec for Tick {
+//!     fn encode_payload(&self, _buf: &mut BytesMut) {}
+//!     fn decode_payload(_buf: &mut Bytes) -> Result<Self, CodecError> { Ok(Tick) }
+//!     fn kind(&self) -> &'static str { "tick" }
+//! }
+//!
+//! struct Clock;
+//! impl EventHandler<Tick> for Clock {
+//!     fn on_event(&mut self, event: Event<Tick>, ctx: &mut Ctx<'_, Tick>) {
+//!         if event.time < SimTime::from_micros(5.0) {
+//!             ctx.emit_self(SimTime::from_micros(1.0), Tick);
+//!         }
+//!     }
+//! }
+//!
+//! fn build() -> Simulation<Tick> {
+//!     let mut sim = Simulation::new(7);
+//!     let c = sim.add_component("clock", Clock);
+//!     sim.schedule(SimTime::ZERO, c, Tick);
+//!     sim
+//! }
+//!
+//! // Record one run...
+//! let (rec, sink) = EventRecorder::<Tick>::in_memory();
+//! let mut sim = build();
+//! sim.set_observer(Box::new(rec.clone()));
+//! sim.step_until_no_events();
+//! rec.finish().unwrap();
+//! let log = EventLog::decode(&sink.take()).unwrap();
+//!
+//! // ...then replay it against an identically built simulation.
+//! let summary = Replayer::new(log).run(&mut build()).unwrap();
+//! assert_eq!(summary.events, 6);
+//! ```
+
+pub mod codec;
+pub mod diff;
+pub mod record;
+pub mod replay;
+
+pub use codec::{CodecError, EventCodec, EventLog, EventRecord};
+pub use diff::{diff_logs, render_diff, LogDiff};
+pub use record::{EventRecorder, MemorySink};
+pub use replay::{Divergence, ReplayChecker, ReplaySummary, Replayer, CONTEXT_WINDOW};

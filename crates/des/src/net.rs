@@ -6,14 +6,17 @@
 //! events to the sinks through the latency-modelled hub, and client churn is
 //! expressed as externally scheduled `Join`/`Leave` events to the sources.
 
+use crate::log::codec::{self, CodecError, EventCodec};
 use crate::metrics::SharedMetrics;
 use crate::simulation::{Ctx, EventHandler};
 use crate::time::SimTime;
 use crate::traffic::ArrivalProcess;
+use bytes::{BufMut, Bytes, BytesMut};
 use iac_mac::pcf::{GroupPlan, PacketResult};
+use iac_mac::queue::QueuedPacket;
 
 /// The one event vocabulary every component of the network model speaks.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum NetEvent {
     /// Source self-tick: its next packet is due.
     SourceTick,
@@ -52,6 +55,161 @@ pub enum NetEvent {
         /// Its sequence number.
         seq: u16,
     },
+}
+
+// Payload variant tags for the event-log codec (stable wire contract; new
+// variants append, existing tags never renumber).
+const NE_SOURCE_TICK: u8 = 0;
+const NE_JOIN: u8 = 1;
+const NE_LEAVE: u8 = 2;
+const NE_ARRIVAL: u8 = 3;
+const NE_CFP_START: u8 = 4;
+const NE_BEACON_DONE: u8 = 5;
+const NE_GROUP_DONE: u8 = 6;
+const NE_WIRE_DELIVER: u8 = 7;
+
+fn put_bool(buf: &mut BytesMut, v: bool) {
+    buf.put_u8(v as u8);
+}
+
+fn get_bool(b: &mut Bytes, ctx: &'static str) -> Result<bool, CodecError> {
+    match codec::get_u8(b, ctx)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        v => Err(CodecError::BadPayload(format!("{ctx}: bad bool byte {v}"))),
+    }
+}
+
+fn get_len(b: &mut Bytes, ctx: &'static str) -> Result<usize, CodecError> {
+    Ok(codec::get_u32(b, ctx)? as usize)
+}
+
+impl EventCodec for NetEvent {
+    fn encode_payload(&self, buf: &mut BytesMut) {
+        match self {
+            NetEvent::SourceTick => buf.put_u8(NE_SOURCE_TICK),
+            NetEvent::Join => buf.put_u8(NE_JOIN),
+            NetEvent::Leave => buf.put_u8(NE_LEAVE),
+            NetEvent::Arrival {
+                client,
+                seq,
+                uplink,
+            } => {
+                buf.put_u8(NE_ARRIVAL);
+                buf.put_u16(*client);
+                buf.put_u16(*seq);
+                put_bool(buf, *uplink);
+            }
+            NetEvent::CfpStart => buf.put_u8(NE_CFP_START),
+            NetEvent::BeaconDone => buf.put_u8(NE_BEACON_DONE),
+            NetEvent::GroupDone {
+                uplink,
+                plan,
+                results,
+            } => {
+                buf.put_u8(NE_GROUP_DONE);
+                put_bool(buf, *uplink);
+                buf.put_u32(plan.clients.len() as u32);
+                for &c in &plan.clients {
+                    buf.put_u16(c);
+                }
+                buf.put_u32(plan.packets.len() as u32);
+                for p in &plan.packets {
+                    buf.put_u16(p.client);
+                    buf.put_u16(p.seq);
+                    buf.put_u32(p.bytes as u32);
+                }
+                buf.put_u32(results.len() as u32);
+                for r in results {
+                    buf.put_u16(r.client);
+                    buf.put_u16(r.seq);
+                    // IEEE bit pattern: encode → decode is bit-exact.
+                    buf.put_u64(r.sinr.to_bits());
+                    put_bool(buf, r.ok);
+                    buf.put_u16(r.ap);
+                }
+            }
+            NetEvent::WireDeliver {
+                from_ap,
+                client,
+                seq,
+            } => {
+                buf.put_u8(NE_WIRE_DELIVER);
+                buf.put_u16(*from_ap);
+                buf.put_u16(*client);
+                buf.put_u16(*seq);
+            }
+        }
+    }
+
+    fn decode_payload(b: &mut Bytes) -> Result<Self, CodecError> {
+        match codec::get_u8(b, "NetEvent tag")? {
+            NE_SOURCE_TICK => Ok(NetEvent::SourceTick),
+            NE_JOIN => Ok(NetEvent::Join),
+            NE_LEAVE => Ok(NetEvent::Leave),
+            NE_ARRIVAL => Ok(NetEvent::Arrival {
+                client: codec::get_u16(b, "Arrival.client")?,
+                seq: codec::get_u16(b, "Arrival.seq")?,
+                uplink: get_bool(b, "Arrival.uplink")?,
+            }),
+            NE_CFP_START => Ok(NetEvent::CfpStart),
+            NE_BEACON_DONE => Ok(NetEvent::BeaconDone),
+            NE_GROUP_DONE => {
+                let uplink = get_bool(b, "GroupDone.uplink")?;
+                let n_clients = get_len(b, "GroupDone.clients.len")?;
+                let mut clients = Vec::with_capacity(n_clients);
+                for _ in 0..n_clients {
+                    clients.push(codec::get_u16(b, "GroupDone.clients[]")?);
+                }
+                let n_packets = get_len(b, "GroupDone.packets.len")?;
+                let mut packets = Vec::with_capacity(n_packets);
+                for _ in 0..n_packets {
+                    packets.push(QueuedPacket {
+                        client: codec::get_u16(b, "GroupDone.packet.client")?,
+                        seq: codec::get_u16(b, "GroupDone.packet.seq")?,
+                        bytes: codec::get_u32(b, "GroupDone.packet.bytes")? as usize,
+                    });
+                }
+                let n_results = get_len(b, "GroupDone.results.len")?;
+                let mut results = Vec::with_capacity(n_results);
+                for _ in 0..n_results {
+                    results.push(PacketResult {
+                        client: codec::get_u16(b, "GroupDone.result.client")?,
+                        seq: codec::get_u16(b, "GroupDone.result.seq")?,
+                        sinr: f64::from_bits(codec::get_u64(b, "GroupDone.result.sinr")?),
+                        ok: get_bool(b, "GroupDone.result.ok")?,
+                        ap: codec::get_u16(b, "GroupDone.result.ap")?,
+                    });
+                }
+                Ok(NetEvent::GroupDone {
+                    uplink,
+                    plan: GroupPlan { clients, packets },
+                    results,
+                })
+            }
+            NE_WIRE_DELIVER => Ok(NetEvent::WireDeliver {
+                from_ap: codec::get_u16(b, "WireDeliver.from_ap")?,
+                client: codec::get_u16(b, "WireDeliver.client")?,
+                seq: codec::get_u16(b, "WireDeliver.seq")?,
+            }),
+            tag => Err(CodecError::BadPayload(format!(
+                "unknown NetEvent tag {tag}"
+            ))),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            NetEvent::SourceTick => "SourceTick",
+            NetEvent::Join => "Join",
+            NetEvent::Leave => "Leave",
+            NetEvent::Arrival { .. } => "Arrival",
+            NetEvent::CfpStart => "CfpStart",
+            NetEvent::BeaconDone => "BeaconDone",
+            NetEvent::GroupDone { .. } => "GroupDone",
+            NetEvent::WireDeliver { .. } => "WireDeliver",
+        }
+    }
 }
 
 /// A per-client packet generator driving one direction of traffic.

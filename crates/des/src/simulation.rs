@@ -71,6 +71,19 @@ pub trait EventHandler<E> {
     fn on_event(&mut self, event: Event<E>, ctx: &mut Ctx<'_, E>);
 }
 
+/// A passive tap on the event stream: sees every event the driver fires, in
+/// fire order, *before* the destination handler runs. This is the
+/// record/replay hook — [`crate::log::EventRecorder`] serializes the stream,
+/// [`crate::log::ReplayChecker`] asserts it matches a recording. Observers
+/// must not mutate the simulation (they are handed the event by shared
+/// reference and nothing else), so attaching one cannot change a run.
+pub trait EventObserver<E> {
+    /// Called once per fired event, after the clock advanced to its
+    /// timestamp and before it is dispatched (undeliverable events are
+    /// observed too).
+    fn on_fire(&mut self, event: &Event<E>);
+}
+
 /// The discrete-event simulation driver, generic over the event payload `E`.
 pub struct Simulation<E> {
     time: SimTime,
@@ -80,6 +93,7 @@ pub struct Simulation<E> {
     names: Vec<String>,
     processed: u64,
     undeliverable: u64,
+    observer: Option<Box<dyn EventObserver<E>>>,
 }
 
 impl<E> Simulation<E> {
@@ -101,7 +115,24 @@ impl<E> Simulation<E> {
             names: Vec::new(),
             processed: 0,
             undeliverable: 0,
+            observer: None,
         }
+    }
+
+    /// Attach an [`EventObserver`] (replacing any previous one, which is
+    /// returned). The observer sees every subsequently fired event; pass the
+    /// recording or checking half of the `log` module here. With no observer
+    /// attached the per-event cost is a single branch on a `None`.
+    pub fn set_observer(
+        &mut self,
+        observer: Box<dyn EventObserver<E>>,
+    ) -> Option<Box<dyn EventObserver<E>>> {
+        self.observer.replace(observer)
+    }
+
+    /// Detach and return the current observer, if any.
+    pub fn take_observer(&mut self) -> Option<Box<dyn EventObserver<E>>> {
+        self.observer.take()
     }
 
     /// Register a component; returns its id (assigned sequentially from 0).
@@ -168,6 +199,9 @@ impl<E> Simulation<E> {
         debug_assert!(ev.time >= self.time, "event queue went back in time");
         self.time = ev.time;
         self.processed += 1;
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_fire(&ev);
+        }
         let dst = ev.dst as usize;
         if dst >= self.handlers.len() {
             self.undeliverable += 1;

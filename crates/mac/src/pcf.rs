@@ -157,7 +157,7 @@ pub type GroupScorer = Box<dyn FnMut(&[u16], bool) -> f64>;
 /// `clients[i]`. Clients repeat when `streams_per_client > 1` (a client
 /// spatially multiplexing several packets in the same airtime, as in plain
 /// 802.11-MIMO).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroupPlan {
     /// One entry per packet, in service order.
     pub clients: Vec<u16>,

@@ -1,0 +1,223 @@
+//! Record/replay plumbing for the DES scenarios.
+//!
+//! A registry-level DES trial (`des_campus`, `des_load`) is a sequence of
+//! one or more *constituent* [`NetSim`] runs — one for the campus scenario,
+//! two per swept load (IAC and the 802.11-MIMO baseline) for the load
+//! sweep. This module enumerates those runs for a `(scenario, quality,
+//! trial seed)` triple so that each can be recorded to an event log,
+//! replayed from one under bit-exact verification, and the scenario's
+//! [`TrialOutput`] reconstructed from the replayed outcomes. Because spec
+//! construction and report derivation are pure functions of the
+//! configuration (see `des_campus::spec_for` / `des_load::point_spec`), the
+//! reconstruction is the *same code path* the live registry entry uses — a
+//! replayed trial cannot drift from a live one without the replay checker
+//! noticing first.
+//!
+//! Consumers: `examples/replay.rs` (the record/replay/diff CLI), the
+//! `replay_roundtrip` integration suite, and the replay goldens.
+
+use crate::netsim::{self, CalibratedPhy, NetSim, NetSimOutcome};
+use crate::registry::{Quality, TrialOutput};
+use crate::scenarios::{des_campus, des_load};
+use iac_des::{Divergence, EventLog};
+
+/// The registered scenarios that support record/replay (every DES scenario
+/// in the registry).
+pub const DES_SCENARIOS: &[&str] = &["des_campus", "des_load"];
+
+/// One constituent simulation run of a DES trial.
+pub struct DesRun {
+    /// Filesystem-safe run label, unique within the trial (log file stem).
+    pub label: String,
+    /// The declarative run description.
+    pub spec: NetSim,
+    /// The calibrated PHY the run drives.
+    pub phy: CalibratedPhy,
+}
+
+/// The campus config for a quality/seed pair (the registry's sizing rule).
+pub fn campus_config(quality: Quality, trial_seed: u64) -> des_campus::CampusConfig {
+    match quality {
+        Quality::Quick => des_campus::CampusConfig::quick(trial_seed),
+        Quality::Paper => des_campus::CampusConfig::paper_default(trial_seed),
+    }
+}
+
+/// The load-sweep config for a quality/seed pair (the registry's sizing
+/// rule).
+pub fn load_config(quality: Quality, trial_seed: u64) -> des_load::LoadSweepConfig {
+    match quality {
+        Quality::Quick => des_load::LoadSweepConfig::quick(trial_seed),
+        Quality::Paper => des_load::LoadSweepConfig::paper_default(trial_seed),
+    }
+}
+
+/// Enumerate the constituent runs of one DES trial, in a stable order
+/// (`des_load`: IAC then MIMO at each load, loads ascending).
+///
+/// # Panics
+/// Panics if `name` is not in [`DES_SCENARIOS`].
+pub fn des_runs(name: &str, quality: Quality, trial_seed: u64) -> Vec<DesRun> {
+    match name {
+        "des_campus" => {
+            let cfg = campus_config(quality, trial_seed);
+            vec![DesRun {
+                label: "campus".to_string(),
+                spec: des_campus::spec_for(&cfg),
+                phy: des_campus::phy_for(&cfg),
+            }]
+        }
+        "des_load" => {
+            let cfg = load_config(quality, trial_seed);
+            let (iac_phy, mimo_phy) = des_load::phys_for(&cfg);
+            let mut runs = Vec::with_capacity(2 * cfg.loads_pps.len());
+            for &load in &cfg.loads_pps {
+                runs.push(DesRun {
+                    label: format!("iac_{load:04.0}"),
+                    spec: des_load::point_spec(&cfg, load, true),
+                    phy: iac_phy.clone(),
+                });
+                runs.push(DesRun {
+                    label: format!("mimo_{load:04.0}"),
+                    spec: des_load::point_spec(&cfg, load, false),
+                    phy: mimo_phy.clone(),
+                });
+            }
+            runs
+        }
+        other => panic!("no DES scenario named {other:?} (see desrec::DES_SCENARIOS)"),
+    }
+}
+
+/// Run one constituent simulation without recording.
+pub fn run_plain(run: &DesRun) -> NetSimOutcome {
+    netsim::run_netsim(&run.spec, run.phy.clone())
+}
+
+/// Run one constituent simulation with recording; returns the encoded event
+/// log alongside the outcome. The outcome is identical to [`run_plain`]'s
+/// (the recorder is a passive observer).
+pub fn record(run: &DesRun) -> (Vec<u8>, NetSimOutcome) {
+    let sink = iac_des::log::MemorySink::default();
+    let out = netsim::run_netsim_recorded(&run.spec, run.phy.clone(), sink.clone())
+        .expect("in-memory sink cannot fail");
+    (sink.take(), out)
+}
+
+/// Replay one constituent simulation from its recorded log under bit-exact
+/// verification.
+pub fn replay(run: &DesRun, log: &EventLog) -> Result<NetSimOutcome, Box<Divergence>> {
+    netsim::run_netsim_replayed(&run.spec, run.phy.clone(), log)
+}
+
+/// The campus trial's registry metrics from its report — the single metric
+/// extraction both the live registry entry and replay reconstruction use.
+pub fn campus_trial_output(r: &des_campus::CampusReport) -> TrialOutput {
+    TrialOutput {
+        metrics: vec![
+            ("delivered_uplink", r.log.delivered_count(true) as f64),
+            ("delivered_downlink", r.log.delivered_count(false) as f64),
+            ("uplink_median_ms", r.uplink_latency_ms.median),
+            ("jain_overall", r.jain_overall),
+            ("throughput_mbps", r.throughput_mbps),
+        ],
+    }
+}
+
+/// The load-sweep trial's registry metrics from its report. The knees are
+/// grid-interpolated (see `des_load::interpolated_knee`), so these are
+/// continuous in the underlying measurements rather than snapping to swept
+/// grid loads.
+pub fn load_trial_output(r: &des_load::LoadSweepReport) -> TrialOutput {
+    TrialOutput {
+        metrics: vec![
+            ("load_gain", r.gain()),
+            ("iac_sustained_pps", r.iac_sustained_pps),
+            ("mimo_sustained_pps", r.mimo_sustained_pps),
+        ],
+    }
+}
+
+/// Reconstruct a trial's [`TrialOutput`] from its constituent outcomes (in
+/// [`des_runs`] order) — the path replayed outcomes take back to scenario
+/// metrics. Feeding in live outcomes gives exactly the registry entry's
+/// result.
+///
+/// # Panics
+/// Panics if `name` is unknown or `outcomes` has the wrong length.
+pub fn trial_output_from(
+    name: &str,
+    quality: Quality,
+    trial_seed: u64,
+    outcomes: Vec<NetSimOutcome>,
+) -> TrialOutput {
+    match name {
+        "des_campus" => {
+            let cfg = campus_config(quality, trial_seed);
+            let spec = des_campus::spec_for(&cfg);
+            let [out]: [NetSimOutcome; 1] = outcomes
+                .try_into()
+                .unwrap_or_else(|o: Vec<_>| panic!("des_campus expects 1 outcome, got {}", o.len()));
+            campus_trial_output(&des_campus::report_from(&cfg, &spec, out))
+        }
+        "des_load" => {
+            let cfg = load_config(quality, trial_seed);
+            assert_eq!(
+                outcomes.len(),
+                2 * cfg.loads_pps.len(),
+                "des_load expects IAC+MIMO outcomes per load"
+            );
+            let points = cfg
+                .loads_pps
+                .iter()
+                .enumerate()
+                .map(|(k, &load)| des_load::LoadPoint {
+                    load_pps: load,
+                    iac: des_load::point_from(&cfg, true, &outcomes[2 * k]),
+                    mimo: des_load::point_from(&cfg, false, &outcomes[2 * k + 1]),
+                })
+                .collect();
+            load_trial_output(&des_load::report_from(&cfg, points))
+        }
+        other => panic!("no DES scenario named {other:?} (see desrec::DES_SCENARIOS)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_enumerate_with_unique_labels() {
+        for &name in DES_SCENARIOS {
+            let runs = des_runs(name, Quality::Quick, 5);
+            assert!(!runs.is_empty());
+            let mut labels: Vec<&str> = runs.iter().map(|r| r.label.as_str()).collect();
+            labels.sort_unstable();
+            let mut deduped = labels.clone();
+            deduped.dedup();
+            assert_eq!(labels, deduped, "{name}: duplicate run label");
+            for l in labels {
+                assert!(
+                    l.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                    "{name}: label {l:?} not filesystem-safe"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn load_runs_pair_systems_per_load() {
+        let cfg = load_config(Quality::Quick, 5);
+        let runs = des_runs("des_load", Quality::Quick, 5);
+        assert_eq!(runs.len(), 2 * cfg.loads_pps.len());
+        assert!(runs[0].label.starts_with("iac_"));
+        assert!(runs[1].label.starts_with("mimo_"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no DES scenario")]
+    fn unknown_scenario_panics() {
+        des_runs("fig12", Quality::Quick, 1);
+    }
+}

@@ -27,10 +27,16 @@
 //!   the time-domain scenarios built on `iac-des` (dynamic-arrival campus
 //!   uplink with churn; the offered-load latency sweep).
 //! * [`netsim`] — plumbing for the time-domain scenarios: the calibrated
-//!   SINR-pool PHY and the declarative component-graph builder.
+//!   SINR-pool PHY and the declarative component-graph builder, with
+//!   plain / recorded / replayed execution variants.
+//! * [`desrec`] — record/replay plumbing for the DES scenarios: enumerate a
+//!   trial's constituent runs, record each to an event log, replay under
+//!   bit-exact verification, and reconstruct the trial's registry metrics
+//!   from replayed outcomes (see `docs/DES.md` § "Record/replay").
 //! * [`metrics`] — latency CDFs, sliding-window throughput, Jain fairness
 //!   over a discrete-event run's raw records.
 
+pub mod desrec;
 pub mod engine;
 pub mod experiment;
 pub mod metrics;

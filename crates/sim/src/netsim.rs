@@ -187,12 +187,12 @@ pub struct NetSimOutcome {
     pub end_time: SimTime,
 }
 
-/// Assemble the component graph and run `step_until_no_events()`.
-///
-/// Grouping uses the FIFO policy in both directions: the calibrated PHY has
-/// no per-group channel knowledge for a rate scorer to exploit, so FIFO
-/// keeps the comparison between MAC configurations policy-neutral.
-pub fn run_netsim(spec: &NetSim, phy: CalibratedPhy) -> NetSimOutcome {
+/// Assemble the component graph (sinks, MAC leader, sources, kick-off
+/// events) without running it. The returned simulation is ready for
+/// `step_until_no_events()`; `SharedMetrics` is the handle every component
+/// records into. Record and replay both need a *freshly built, not yet run*
+/// simulation, which is why construction is split from execution.
+pub fn build_netsim(spec: &NetSim, phy: CalibratedPhy) -> (Simulation<NetEvent>, SharedMetrics) {
     // Pending events peak near one self-tick per source plus a wire-delivery
     // fan-out per AP and the MAC's own phase events; pre-reserving the heap
     // keeps the steady state allocation-free (churn schedules land up front).
@@ -240,12 +240,59 @@ pub fn run_netsim(spec: &NetSim, phy: CalibratedPhy) -> NetSimOutcome {
         }
     }
     sim.schedule(SimTime::ZERO, mac, NetEvent::CfpStart);
-    let events = sim.step_until_no_events();
+    (sim, metrics)
+}
+
+fn outcome_of(sim: &Simulation<NetEvent>, metrics: &SharedMetrics, events: u64) -> NetSimOutcome {
     NetSimOutcome {
         log: metrics.snapshot(),
         events,
         end_time: sim.time(),
     }
+}
+
+/// Assemble the component graph and run `step_until_no_events()`.
+///
+/// Grouping uses the FIFO policy in both directions: the calibrated PHY has
+/// no per-group channel knowledge for a rate scorer to exploit, so FIFO
+/// keeps the comparison between MAC configurations policy-neutral.
+pub fn run_netsim(spec: &NetSim, phy: CalibratedPhy) -> NetSimOutcome {
+    let (mut sim, metrics) = build_netsim(spec, phy);
+    let events = sim.step_until_no_events();
+    outcome_of(&sim, &metrics, events)
+}
+
+/// [`run_netsim`] with every fired event streamed to `sink` in the
+/// `iac-des::log` wire format. The outcome is identical to the unrecorded
+/// run's (the recorder is a passive observer); the sink ends up holding a
+/// complete decodable [`EventLog`](iac_des::EventLog).
+pub fn run_netsim_recorded(
+    spec: &NetSim,
+    phy: CalibratedPhy,
+    sink: impl std::io::Write + 'static,
+) -> std::io::Result<NetSimOutcome> {
+    let (mut sim, metrics) = build_netsim(spec, phy);
+    let recorder: iac_des::EventRecorder<NetEvent> = iac_des::EventRecorder::to_writer(sink)?;
+    sim.set_observer(Box::new(recorder.clone()));
+    let events = sim.step_until_no_events();
+    sim.take_observer();
+    recorder.finish()?;
+    Ok(outcome_of(&sim, &metrics, events))
+}
+
+/// Re-run a recorded [`NetSim`] under verification: rebuild the identical
+/// component graph from `spec` and drive it while asserting every fired
+/// event matches `log` bit-for-bit. On success the outcome (and its
+/// [`MetricsLog`]) is bit-identical to the recorded run's; on mismatch the
+/// first divergent event comes back with context.
+pub fn run_netsim_replayed(
+    spec: &NetSim,
+    phy: CalibratedPhy,
+    log: &iac_des::EventLog,
+) -> Result<NetSimOutcome, Box<iac_des::Divergence>> {
+    let (mut sim, metrics) = build_netsim(spec, phy);
+    let summary = iac_des::Replayer::new(log.clone()).run(&mut sim)?;
+    Ok(outcome_of(&sim, &metrics, summary.events))
 }
 
 #[cfg(test)]

@@ -349,36 +349,16 @@ fn run_ablation_alignment(q: Quality, seed: u64) -> TrialOutput {
 }
 
 fn run_des_campus(q: Quality, seed: u64) -> TrialOutput {
-    let cfg = match q {
-        Quality::Quick => des_campus::CampusConfig::quick(seed),
-        Quality::Paper => des_campus::CampusConfig::paper_default(seed),
-    };
-    let r = des_campus::run(&cfg);
-    TrialOutput::new(vec![
-        ("delivered_uplink", r.log.delivered_count(true) as f64),
-        ("delivered_downlink", r.log.delivered_count(false) as f64),
-        ("uplink_median_ms", r.uplink_latency_ms.median),
-        ("jain_overall", r.jain_overall),
-        ("throughput_mbps", r.throughput_mbps),
-    ])
+    let r = des_campus::run(&crate::desrec::campus_config(q, seed));
+    crate::desrec::campus_trial_output(&r)
 }
 
 fn run_des_load(q: Quality, seed: u64) -> TrialOutput {
-    let cfg = match q {
-        Quality::Quick => des_load::LoadSweepConfig::quick(seed),
-        Quality::Paper => des_load::LoadSweepConfig::paper_default(seed),
-    };
-    let r = des_load::run(&cfg);
-    // The knee loads are quantized to the swept grid; the peak-load p95
-    // latencies are the continuous (seed-sensitive) companions.
-    let peak = r.points.last().expect("empty sweep");
-    TrialOutput::new(vec![
-        ("load_gain", r.gain()),
-        ("iac_sustained_pps", r.iac_sustained_pps),
-        ("mimo_sustained_pps", r.mimo_sustained_pps),
-        ("iac_p95_ms_at_peak", peak.iac.p95_latency_ms),
-        ("mimo_p95_ms_at_peak", peak.mimo.p95_latency_ms),
-    ])
+    // Knee loads are grid-interpolated (`des_load::interpolated_knee`), so
+    // all three metrics vary continuously with the seed instead of snapping
+    // between swept grid loads.
+    let r = des_load::run(&crate::desrec::load_config(q, seed));
+    crate::desrec::load_trial_output(&r)
 }
 
 /// Every registered scenario, in presentation order.

@@ -114,14 +114,21 @@ fn churn_for(client: u16, horizon_ms: f64) -> Vec<(f64, bool)> {
     }
 }
 
-/// Run the scenario.
-pub fn run(config: &CampusConfig) -> CampusReport {
+/// The calibrated PHY for `config` (the expensive matrix-level part; drawn
+/// from `config.seed` exactly as the original single-function `run` did).
+pub fn phy_for(config: &CampusConfig) -> CalibratedPhy {
     let mut rng = Rng64::new(config.seed);
     let testbed = Testbed::paper_default(&mut rng);
     let est = EstimationConfig::paper_default();
     let pool = netsim::calibrate_iac_pool(&testbed, &est, config.calibration_draws, &mut rng);
-    let phy = CalibratedPhy::new(pool, 0.5, 0.01, 3);
+    CalibratedPhy::new(pool, 0.5, 0.01, 3)
+}
 
+/// The declarative run description for `config`: sources (with churn
+/// schedules), MAC parameters, and the derived simulation seed. Pure — no
+/// calibration, no RNG draws — so record, replay, and report reconstruction
+/// can all rebuild the identical spec from the config alone.
+pub fn spec_for(config: &CampusConfig) -> NetSim {
     let mut sources = Vec::new();
     for c in 0..config.n_clients as u16 {
         // The last client is the bursty web-traffic caricature; the rest
@@ -150,7 +157,7 @@ pub fn run(config: &CampusConfig) -> CampusReport {
         ));
     }
 
-    let spec = NetSim {
+    NetSim {
         seed: config.seed ^ 0xD15_EA5E,
         cfg: EventPcfConfig {
             queue_capacity: Some(config.queue_capacity),
@@ -161,8 +168,17 @@ pub fn run(config: &CampusConfig) -> CampusReport {
             ..EventPcfConfig::default()
         },
         sources,
-    };
-    let out = netsim::run_netsim(&spec, phy);
+    }
+}
+
+/// Derive the report from a completed run's outcome. Every reported figure
+/// is a pure function of `(config, spec, outcome)`, so a replayed outcome
+/// reconstructs the identical report.
+pub fn report_from(
+    config: &CampusConfig,
+    spec: &NetSim,
+    out: crate::netsim::NetSimOutcome,
+) -> CampusReport {
     let horizon_us = config.horizon_ms * 1e3;
     let up = metrics::latencies_ms(&out.log, Some(true));
     let down = metrics::latencies_ms(&out.log, Some(false));
@@ -213,6 +229,14 @@ pub fn run(config: &CampusConfig) -> CampusReport {
         log: out.log,
         config: config.clone(),
     }
+}
+
+/// Run the scenario.
+pub fn run(config: &CampusConfig) -> CampusReport {
+    let phy = phy_for(config);
+    let spec = spec_for(config);
+    let out = netsim::run_netsim(&spec, phy);
+    report_from(config, &spec, out)
 }
 
 impl std::fmt::Display for CampusReport {

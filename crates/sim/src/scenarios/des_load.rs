@@ -118,9 +118,11 @@ pub struct LoadSweepReport {
     pub config: LoadSweepConfig,
     /// One entry per swept load, ascending.
     pub points: Vec<LoadPoint>,
-    /// Highest per-client load IAC sustained before latency diverged.
+    /// Sustained-load knee for IAC, pps/client — the interpolated crossing
+    /// of the sustainability boundary between the last sustained and first
+    /// unsustained grid loads (see [`interpolated_knee`]).
     pub iac_sustained_pps: f64,
-    /// Highest per-client load the baseline sustained.
+    /// Sustained-load knee for the 802.11-MIMO baseline, pps/client.
     pub mimo_sustained_pps: f64,
 }
 
@@ -149,13 +151,11 @@ fn mac_config(iac: bool, cfg: &LoadSweepConfig) -> EventPcfConfig {
     }
 }
 
-fn measure(
-    cfg: &LoadSweepConfig,
-    load_pps: f64,
-    iac: bool,
-    phy: &CalibratedPhy,
-) -> SystemPoint {
-    let spec = NetSim {
+/// The run description for one system at one offered load. Pure — no
+/// calibration, no RNG draws — so record, replay, and report reconstruction
+/// can all rebuild the identical spec from `(config, load, system)` alone.
+pub fn point_spec(cfg: &LoadSweepConfig, load_pps: f64, iac: bool) -> NetSim {
+    NetSim {
         // Same seed for both systems at a given load. Arrival draws share
         // the one simulation RNG with PHY/policy draws, so the two systems'
         // packet timings diverge after the first transmission — the
@@ -166,8 +166,17 @@ fn measure(
         sources: (0..cfg.n_clients as u16)
             .map(|c| SourceSpec::steady(c, true, ArrivalProcess::poisson(load_pps)))
             .collect(),
-    };
-    let out = netsim::run_netsim(&spec, phy.clone());
+    }
+}
+
+/// Reduce a completed run's outcome to its [`SystemPoint`]. Pure in
+/// `(config, system, outcome)`, so a replayed outcome reconstructs the
+/// identical point.
+pub fn point_from(
+    cfg: &LoadSweepConfig,
+    iac: bool,
+    out: &crate::netsim::NetSimOutcome,
+) -> SystemPoint {
     let lat = metrics::latencies_ms(&out.log, Some(true));
     let delivered = out.log.delivered_count(true);
     SystemPoint {
@@ -179,7 +188,7 @@ fn measure(
         },
         throughput_mbps: metrics::throughput_mbps(
             &out.log,
-            spec.cfg.protocol.payload_bytes,
+            mac_config(iac, cfg).protocol.payload_bytes,
             cfg.horizon_ms * 1e3,
         ),
         delivery_ratio: if out.log.offered == 0 {
@@ -191,8 +200,9 @@ fn measure(
     }
 }
 
-/// Run the sweep.
-pub fn run(config: &LoadSweepConfig) -> LoadSweepReport {
+/// The two calibrated PHYs (IAC pool, then 802.11-MIMO pool), drawn from
+/// `config.seed` exactly as the original single-function `run` did.
+pub fn phys_for(config: &LoadSweepConfig) -> (CalibratedPhy, CalibratedPhy) {
     let mut rng = Rng64::new(config.seed);
     let testbed = Testbed::paper_default(&mut rng);
     let est = EstimationConfig::paper_default();
@@ -208,6 +218,81 @@ pub fn run(config: &LoadSweepConfig) -> LoadSweepReport {
         0.01,
         3,
     );
+    (iac_phy, mimo_phy)
+}
+
+fn measure(cfg: &LoadSweepConfig, load_pps: f64, iac: bool, phy: &CalibratedPhy) -> SystemPoint {
+    let spec = point_spec(cfg, load_pps, iac);
+    let out = netsim::run_netsim(&spec, phy.clone());
+    point_from(cfg, iac, &out)
+}
+
+/// The sustained-load knee, linearly interpolated between grid points.
+///
+/// `points` is `(load_pps, measurement)` in ascending load order. The knee
+/// sits between the last load of the all-sustained prefix and the first
+/// unsustained load; within that interval the crossing is located by linear
+/// interpolation of whichever criterion broke — the p95 latency reaching
+/// the threshold, or (when latency stayed low and delivery collapsed
+/// instead) the delivery ratio crossing 0.9. This removes the grid
+/// quantization that made the knee — and everything derived from it, like
+/// the reported load gain — a step function of the swept grid and fragile
+/// to seed choice: a seed that nudges p95 latency slightly now nudges the
+/// knee slightly, instead of snapping it a whole grid cell.
+///
+/// Degenerate cases: an empty or never-sustained sweep reports 0; an
+/// all-sustained sweep reports its last grid load (the sweep never found
+/// the knee, so there is nothing to interpolate toward); an unusable
+/// interpolant (first unsustained point's p95 non-finite *and* delivery
+/// not below 0.9 — e.g. nothing was delivered at all) falls back to the
+/// interval midpoint.
+pub fn interpolated_knee(points: &[(f64, SystemPoint)], threshold_ms: f64) -> f64 {
+    let mut last_sustained = None;
+    for (i, (_, p)) in points.iter().enumerate() {
+        if p.sustained(threshold_ms) {
+            last_sustained = Some(i);
+        } else {
+            break;
+        }
+    }
+    let Some(i) = last_sustained else {
+        return 0.0;
+    };
+    if i + 1 >= points.len() {
+        return points[i].0;
+    }
+    let (la, a) = points[i];
+    let (lb, b) = points[i + 1];
+    let t = if b.p95_latency_ms.is_finite() && b.p95_latency_ms >= threshold_ms {
+        // Latency broke the threshold: find where p95(load) crosses it.
+        (threshold_ms - a.p95_latency_ms) / (b.p95_latency_ms - a.p95_latency_ms)
+    } else if b.delivery_ratio <= 0.9 && a.delivery_ratio > b.delivery_ratio {
+        // Delivery collapsed first: find where it crosses 0.9.
+        (a.delivery_ratio - 0.9) / (a.delivery_ratio - b.delivery_ratio)
+    } else {
+        0.5
+    };
+    la + t.clamp(0.0, 1.0) * (lb - la)
+}
+
+/// Derive the report (interpolated knees included) from the measured
+/// points. Pure in `(config, points)`, so replayed points reconstruct the
+/// identical report.
+pub fn report_from(config: &LoadSweepConfig, points: Vec<LoadPoint>) -> LoadSweepReport {
+    let series = |pick: fn(&LoadPoint) -> SystemPoint| -> Vec<(f64, SystemPoint)> {
+        points.iter().map(|p| (p.load_pps, pick(p))).collect()
+    };
+    LoadSweepReport {
+        iac_sustained_pps: interpolated_knee(&series(|p| p.iac), config.latency_threshold_ms),
+        mimo_sustained_pps: interpolated_knee(&series(|p| p.mimo), config.latency_threshold_ms),
+        points,
+        config: config.clone(),
+    }
+}
+
+/// Run the sweep.
+pub fn run(config: &LoadSweepConfig) -> LoadSweepReport {
+    let (iac_phy, mimo_phy) = phys_for(config);
     let mut points = Vec::new();
     for &load in &config.loads_pps {
         points.push(LoadPoint {
@@ -216,25 +301,7 @@ pub fn run(config: &LoadSweepConfig) -> LoadSweepReport {
             mimo: measure(config, load, false, &mimo_phy),
         });
     }
-    // The knee: the last load in the ascending sweep that is sustained with
-    // every smaller load also sustained.
-    let knee = |pick: &dyn Fn(&LoadPoint) -> SystemPoint| -> f64 {
-        let mut best = 0.0;
-        for p in &points {
-            if pick(p).sustained(config.latency_threshold_ms) {
-                best = p.load_pps;
-            } else {
-                break;
-            }
-        }
-        best
-    };
-    LoadSweepReport {
-        iac_sustained_pps: knee(&|p| p.iac),
-        mimo_sustained_pps: knee(&|p| p.mimo),
-        points,
-        config: config.clone(),
-    }
+    report_from(config, points)
 }
 
 impl std::fmt::Display for LoadSweepReport {
@@ -323,5 +390,56 @@ mod tests {
         let text = format!("{}", run(&LoadSweepConfig::quick(34)));
         assert!(text.contains("sustained load"));
         assert!(text.contains("gain"));
+    }
+
+    #[test]
+    fn knee_interpolates_between_grid_points() {
+        let pt = |p95: f64, dr: f64| SystemPoint {
+            mean_latency_ms: 0.0,
+            p95_latency_ms: p95,
+            throughput_mbps: 0.0,
+            delivery_ratio: dr,
+            overflow_drops: 0,
+        };
+        // Latency crossing: p95 goes 10 → 50 over loads 400 → 600; the
+        // 30 ms threshold is crossed exactly halfway.
+        let pts = vec![(200.0, pt(5.0, 1.0)), (400.0, pt(10.0, 1.0)), (600.0, pt(50.0, 1.0))];
+        assert_eq!(interpolated_knee(&pts, 30.0), 500.0);
+        // Delivery collapse with latency still low: ratio 1.0 → 0.7 crosses
+        // 0.9 a third of the way into the interval.
+        let pts = vec![(400.0, pt(10.0, 1.0)), (600.0, pt(12.0, 0.7))];
+        let knee = interpolated_knee(&pts, 30.0);
+        assert!((knee - (400.0 + 200.0 / 3.0)).abs() < 1e-9, "{knee}");
+        // Nothing delivered at the unsustained point (p95 = ∞): falls back
+        // to the delivery-ratio crossing.
+        let pts = vec![(400.0, pt(10.0, 1.0)), (600.0, pt(f64::INFINITY, 0.0))];
+        assert!((interpolated_knee(&pts, 30.0) - 420.0).abs() < 1e-9);
+        // Unusable interpolants: midpoint.
+        let pts = vec![(400.0, pt(10.0, 1.0)), (600.0, pt(f64::INFINITY, 1.0))];
+        assert_eq!(interpolated_knee(&pts, 30.0), 500.0);
+        // All sustained: the last grid load. None sustained: zero.
+        assert_eq!(interpolated_knee(&[(400.0, pt(10.0, 1.0))], 30.0), 400.0);
+        assert_eq!(interpolated_knee(&[(400.0, pt(90.0, 1.0))], 30.0), 0.0);
+        assert_eq!(interpolated_knee(&[], 30.0), 0.0);
+    }
+
+    #[test]
+    fn knee_moves_continuously_with_the_breaking_point() {
+        // The reason for interpolating: a small perturbation of the
+        // unsustained point's p95 must move the knee a little, not snap it
+        // across a whole grid cell.
+        let pt = |p95: f64| SystemPoint {
+            mean_latency_ms: 0.0,
+            p95_latency_ms: p95,
+            throughput_mbps: 0.0,
+            delivery_ratio: 1.0,
+            overflow_drops: 0,
+        };
+        let knee_at = |p95_hi: f64| {
+            interpolated_knee(&[(400.0, pt(10.0)), (600.0, pt(p95_hi))], 30.0)
+        };
+        let (a, b) = (knee_at(50.0), knee_at(51.0));
+        assert!((a - b).abs() < 10.0, "knee jumped: {a} vs {b}");
+        assert!(b < a, "higher overload p95 must pull the knee down");
     }
 }

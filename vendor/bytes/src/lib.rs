@@ -187,6 +187,13 @@ impl BytesMut {
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
     }
+
+    /// Empty the buffer, keeping its allocation (matches the real crate's
+    /// `BytesMut::clear`): a long-lived scratch buffer can be refilled
+    /// without re-allocating.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
 }
 
 impl Deref for BytesMut {
