@@ -72,6 +72,7 @@
 //! assert_eq!(sim.time(), SimTime::from_micros(50.0));
 //! ```
 
+pub mod count;
 pub mod event;
 pub mod log;
 pub mod metrics;
@@ -82,6 +83,7 @@ pub mod simulation;
 pub mod time;
 pub mod traffic;
 
+pub use count::{EventKindCounter, SharedKindCounts};
 pub use event::{ComponentId, Event, EventId};
 pub use log::{Divergence, EventCodec, EventLog, EventRecorder, Replayer};
 pub use metrics::{MetricsLog, PacketRecord, QueueDepthSample, SharedMetrics};

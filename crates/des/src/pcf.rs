@@ -225,7 +225,9 @@ impl<P: PhyOutcome> EventPcf<P> {
             ack_map: std::mem::take(&mut self.pending_acks),
         });
         let beacon_bytes = self.control_frame(&beacon);
-        let beacon_air = SimTime::from_micros(self.cfg.airtime.ctrl_us(beacon_bytes));
+        let beacon_air_us = self.cfg.airtime.ctrl_us(beacon_bytes);
+        let beacon_air = SimTime::from_micros(beacon_air_us);
+        self.metrics.with(|log| log.air_busy_us += beacon_air_us);
         let MacFrame::Beacon(Beacon {
             ack_map: mut beacon_acks,
             ..
@@ -250,6 +252,7 @@ impl<P: PhyOutcome> EventPcf<P> {
         for p in unacked.drain(..) {
             let tries = self.retx_count.entry((p.client, p.seq, true)).or_insert(0);
             *tries += 1;
+            self.metrics.with(|log| log.retx += 1);
             if *tries > self.cfg.protocol.retx_limit {
                 self.drop_packet(p.client, p.seq, true);
             } else {
@@ -357,6 +360,10 @@ impl<P: PhyOutcome> EventPcf<P> {
         let air_us = self.cfg.airtime.ctrl_us(ctrl_bytes)
             + self.cfg.airtime.data_us(payload)
             + acks as f64 * self.cfg.airtime.ack_us();
+        self.metrics.with(|log| {
+            log.poll_rounds += 1;
+            log.air_busy_us += air_us;
+        });
         let results = if uplink {
             self.phy.uplink_group(&plan.clients, ctx.rng())
         } else {
@@ -404,6 +411,7 @@ impl<P: PhyOutcome> EventPcf<P> {
                         .entry((packet.client, packet.seq, true))
                         .or_insert(0);
                     *tries += 1;
+                    self.metrics.with(|log| log.retx += 1);
                     if *tries > self.cfg.protocol.retx_limit {
                         self.drop_packet(packet.client, packet.seq, true);
                     } else {
@@ -458,6 +466,7 @@ impl<P: PhyOutcome> EventPcf<P> {
                     .entry((packet.client, packet.seq, false))
                     .or_insert(0);
                 *tries += 1;
+                self.metrics.with(|log| log.retx += 1);
                 if *tries > self.cfg.protocol.retx_limit {
                     self.drop_packet(packet.client, packet.seq, false);
                 } else {
@@ -475,9 +484,15 @@ impl<P: PhyOutcome> EventPcf<P> {
             cfp_id: self.cfp_id,
         });
         let bytes = self.control_frame(&cf_end);
-        self.metrics.with(|log| log.cfps += 1);
+        let cf_end_us = self.cfg.airtime.ctrl_us(bytes);
+        self.metrics.with(|log| {
+            log.cfps += 1;
+            // The CF-End frame occupies the air; the contention-period gap
+            // after it is idle by definition and is not counted as busy.
+            log.air_busy_us += cf_end_us;
+        });
         let gap = SimTime::from_micros(
-            self.cfg.airtime.ctrl_us(bytes) + self.cfg.airtime.cp_us(self.cfg.protocol.cp_slots),
+            cf_end_us + self.cfg.airtime.cp_us(self.cfg.protocol.cp_slots),
         );
         self.phase = Phase::Idle;
         if ctx.time() + gap < self.cfg.horizon {

@@ -49,6 +49,10 @@ pub struct EventQueue<E> {
     /// cancelling fired ids cannot accumulate state.
     live: HashSet<EventId>,
     next_id: EventId,
+    /// Deepest the heap has ever been (pending events, cancelled included).
+    high_water: usize,
+    /// Scheduled events that were cancelled while still pending.
+    cancelled: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -72,6 +76,8 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::with_capacity(capacity),
             live: HashSet::with_capacity(capacity),
             next_id: 0,
+            high_water: 0,
+            cancelled: 0,
         }
     }
 
@@ -94,6 +100,7 @@ impl<E> EventQueue<E> {
             dst,
             payload,
         }));
+        self.high_water = self.high_water.max(self.heap.len());
         id
     }
 
@@ -122,7 +129,9 @@ impl<E> EventQueue<E> {
     /// Cancelling an id that already fired (or was already cancelled) is a
     /// true no-op: nothing is retained.
     pub fn cancel(&mut self, id: EventId) {
-        self.live.remove(&id);
+        if self.live.remove(&id) {
+            self.cancelled += 1;
+        }
     }
 
     /// Pending events, *including* any not-yet-skipped cancelled ones.
@@ -138,6 +147,19 @@ impl<E> EventQueue<E> {
     /// Total events ever scheduled.
     pub fn scheduled(&self) -> u64 {
         self.next_id
+    }
+
+    /// Deepest the pending set has ever been (cancelled-but-unskipped
+    /// entries included, matching [`EventQueue::len`]'s accounting).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Events cancelled while still pending. Cancelling an id that already
+    /// fired (or was never scheduled) does not count — those calls are
+    /// no-ops by contract.
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled
     }
 }
 
@@ -195,6 +217,37 @@ mod tests {
         q.cancel(b);
         assert!(q.live.is_empty(), "cancel must not accumulate state");
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn high_water_tracks_peak_depth() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.high_water(), 0);
+        let ids: Vec<_> = (0..5).map(|k| q.push(t(k as f64), 0, 0, k)).collect();
+        assert_eq!(q.high_water(), 5);
+        q.pop();
+        q.pop();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.high_water(), 5, "high-water never recedes");
+        q.push(t(9.0), 0, 0, 9);
+        assert_eq!(q.high_water(), 5, "4 pending < old peak");
+        let _ = ids;
+    }
+
+    #[test]
+    fn cancelled_counts_only_live_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1.0), 0, 0, "a");
+        let b = q.push(t(2.0), 0, 0, "b");
+        assert_eq!(q.cancelled(), 0);
+        q.cancel(a);
+        assert_eq!(q.cancelled(), 1);
+        q.cancel(a); // already cancelled
+        q.cancel(9999); // never scheduled
+        assert_eq!(q.cancelled(), 1);
+        assert_eq!(q.pop().unwrap().payload, "b");
+        q.cancel(b); // already fired
+        assert_eq!(q.cancelled(), 1);
     }
 
     #[test]

@@ -184,6 +184,27 @@ impl<E> Simulation<E> {
         self.undeliverable
     }
 
+    /// Total events ever scheduled (fired or not).
+    pub fn events_scheduled(&self) -> u64 {
+        self.queue.scheduled()
+    }
+
+    /// Events cancelled while still pending (see [`EventQueue::cancelled`]).
+    pub fn events_cancelled(&self) -> u64 {
+        self.queue.cancelled()
+    }
+
+    /// Currently pending events (cancelled-but-unskipped included).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Deepest the pending-event set has ever been (see
+    /// [`EventQueue::high_water`]).
+    pub fn queue_high_water(&self) -> usize {
+        self.queue.high_water()
+    }
+
     /// Direct access to the seeded RNG (e.g. for scenario setup draws that
     /// should share the simulation's stream).
     pub fn rng(&mut self) -> &mut Rng64 {
@@ -344,6 +365,30 @@ mod tests {
         sim.step_until_no_events();
         assert_eq!(sim.events_undeliverable(), 1);
         assert_eq!(sim.events_processed(), 1);
+    }
+
+    #[test]
+    fn queue_stats_visible_through_driver() {
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(9);
+        let a = sim.add_component(
+            "a",
+            PingPong {
+                peer: 0,
+                delay: SimTime::from_micros(1.0),
+                log,
+            },
+        );
+        sim.schedule(SimTime::ZERO, a, 2);
+        let doomed = sim.schedule(SimTime::from_micros(50.0), a, 0);
+        assert_eq!(sim.queue_len(), 2);
+        assert_eq!(sim.queue_high_water(), 2);
+        sim.cancel(doomed);
+        sim.step_until_no_events();
+        assert_eq!(sim.queue_len(), 0);
+        assert_eq!(sim.queue_high_water(), 2);
+        assert_eq!(sim.events_cancelled(), 1);
+        assert_eq!(sim.events_scheduled(), 4); // 2 injected + 2 relays
     }
 
     #[test]

@@ -100,6 +100,11 @@ pub struct PcfStats {
     pub per_client_delivered: HashMap<u16, u64>,
     /// Sum of achievable rate (Eq. 9 terms) per client, for rate accounting.
     pub per_client_rate_sum: HashMap<u16, f64>,
+    /// Retransmission attempts (a packet re-entering the retry path after a
+    /// failed or unconfirmed transmission, both directions).
+    pub retx: u64,
+    /// Poll rounds issued (DATA+Poll and Grant frames, one per group).
+    pub polls: u64,
 }
 
 /// One CFP's report.
@@ -323,6 +328,7 @@ impl<P: PhyOutcome> PcfSim<P> {
         for p in unacked.drain(..) {
             let tries = self.retx_count.entry((p.client, p.seq, true)).or_insert(0);
             *tries += 1;
+            self.stats.retx += 1;
             if *tries > self.config.retx_limit {
                 self.stats.dropped += 1;
             } else {
@@ -360,6 +366,7 @@ impl<P: PhyOutcome> PcfSim<P> {
                     .collect(),
             });
             self.control_frame(&poll);
+            self.stats.polls += 1;
             // Concurrent data + synchronous client acks.
             let results = self.phy.downlink_group(&plan.clients, rng);
             for r in &results {
@@ -379,6 +386,7 @@ impl<P: PhyOutcome> PcfSim<P> {
                     if let Some(p) = plan.packets.iter().find(|p| p.client == r.client) {
                         let tries = self.retx_count.entry((p.client, p.seq, false)).or_insert(0);
                         *tries += 1;
+                        self.stats.retx += 1;
                         if *tries > self.config.retx_limit {
                             self.stats.dropped += 1;
                         } else {
@@ -416,6 +424,7 @@ impl<P: PhyOutcome> PcfSim<P> {
                     .collect(),
             });
             self.control_frame(&grant);
+            self.stats.polls += 1;
             let results = self.phy.uplink_group(&plan.clients, rng);
             for r in &results {
                 self.stats.data_bytes += self.config.payload_bytes as u64;

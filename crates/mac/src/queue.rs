@@ -28,6 +28,7 @@ pub struct TrafficQueue {
     q: VecDeque<QueuedPacket>,
     capacity: Option<usize>,
     dropped: u64,
+    high_water: usize,
 }
 
 impl TrafficQueue {
@@ -43,6 +44,7 @@ impl TrafficQueue {
             q: VecDeque::new(),
             capacity: Some(capacity),
             dropped: 0,
+            high_water: 0,
         }
     }
 
@@ -56,6 +58,7 @@ impl TrafficQueue {
             }
         }
         self.q.push_back(p);
+        self.high_water = self.high_water.max(self.q.len());
         true
     }
 
@@ -66,6 +69,7 @@ impl TrafficQueue {
     /// packet that overflows the queue.
     pub fn push_front(&mut self, p: QueuedPacket) {
         self.q.push_front(p);
+        self.high_water = self.high_water.max(self.q.len());
     }
 
     /// The capacity bound, if any.
@@ -76,6 +80,12 @@ impl TrafficQueue {
     /// Packets tail-dropped because the queue was full.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Deepest the queue has ever been (retransmission re-entries via
+    /// [`TrafficQueue::push_front`] included).
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// The head packet, if any.
@@ -212,6 +222,27 @@ mod tests {
         }
         assert_eq!(q.dropped(), 0);
         assert_eq!(q.len(), 10_000);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_depth() {
+        let mut q = TrafficQueue::new();
+        assert_eq!(q.high_water(), 0);
+        q.push(p(1, 1));
+        q.push(p(1, 2));
+        q.push(p(1, 3));
+        assert_eq!(q.high_water(), 3);
+        q.pop();
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.high_water(), 3, "high-water never recedes");
+        q.push_front(p(9, 9));
+        assert_eq!(q.high_water(), 3, "2 pending < old peak");
+        // A bounded queue's drops do not move the mark.
+        let mut b = TrafficQueue::with_capacity(1);
+        b.push(p(1, 1));
+        b.push(p(2, 1)); // dropped
+        assert_eq!(b.high_water(), 1);
     }
 
     #[test]

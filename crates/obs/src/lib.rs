@@ -1,0 +1,76 @@
+//! Zero-overhead telemetry for the IAC reproduction.
+//!
+//! Three pieces, all passive by contract (attaching them may never change a
+//! run's observable output — the scenario suites pin this):
+//!
+//! * [`metrics`] — atomic [`Counter`]s, high-water [`Gauge`]s, and
+//!   log₂-bucket [`Histogram`]s registered in a global-free [`Registry`].
+//!   Snapshots order entries deterministically and serialize to compact
+//!   JSON; merging snapshots is commutative (counters/histograms sum,
+//!   gauges take the max), so parallel shards reduce order-independently.
+//! * [`profile`] — scoped span timers via the [`span!`] macro, aggregated
+//!   into a parent/child [`ProfileTree`] (call count, total/self ns,
+//!   min/max).
+//! * [`trace`] — Chrome Trace Event Format export ([`chrome_trace_json`]):
+//!   open the emitted `trace.json` in Perfetto or `chrome://tracing`.
+//!
+//! # The compile-out contract
+//!
+//! With the default `enabled` feature turned off, [`span!`] expands to a
+//! zero-sized value and no timer ever runs — the counting-allocator harness
+//! in `crates/bench/tests/alloc_count.rs` and the bit-identity suite in
+//! `crates/sim/tests/obs_invariance.rs` prove the disabled build does no
+//! extra work. The registry types stay available in both modes (they are
+//! only touched at harvest time, never on a hot path), so downstream code
+//! compiles unchanged.
+//!
+//! ```
+//! let profiler = iac_obs::Profiler::new();
+//! {
+//!     let _outer = iac_obs::span!(profiler, "outer");
+//!     let _inner = iac_obs::span!(profiler, "inner");
+//! }
+//! let tree = profiler.tree();
+//! if iac_obs::ENABLED {
+//!     assert_eq!(tree.roots[0].name, "outer");
+//! }
+//! ```
+
+pub mod metrics;
+pub mod profile;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
+pub use profile::{ProfileNode, ProfileTree, Profiler};
+pub use trace::{chrome_trace_json, TraceEvent};
+
+/// Whether span tracing is compiled in (`enabled` feature, on by default).
+pub const ENABLED: bool = cfg!(feature = "enabled");
+
+/// Open a scoped span timer on a [`Profiler`]: bind the result to keep the
+/// span open, drop it to close.
+///
+/// ```
+/// let prof = iac_obs::Profiler::new();
+/// let _span = iac_obs::span!(prof, "work");
+/// ```
+///
+/// With the `enabled` feature off this expands to a zero-sized value — no
+/// clock read, no profiler touch, nothing for the optimizer to keep.
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! span {
+    ($prof:expr, $name:expr) => {
+        $crate::profile::SpanGuard::enter(&$prof, $name)
+    };
+}
+
+/// Disabled-mode [`span!`]: expands to the zero-sized no-op guard.
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! span {
+    ($prof:expr, $name:expr) => {{
+        let _ = (&$prof, $name);
+        $crate::profile::SpanGuard
+    }};
+}

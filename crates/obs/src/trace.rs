@@ -1,0 +1,94 @@
+//! Chrome Trace Event Format export.
+//!
+//! Emits the minimal JSON dialect both Perfetto (<https://ui.perfetto.dev>)
+//! and `chrome://tracing` load: a `traceEvents` array of *complete* events
+//! (`"ph":"X"`), one per closed span, with microsecond timestamps. The
+//! `pid` is always 1 (one process); the `tid` is the worker lane, so a
+//! parallel sweep renders as one swim-lane per engine worker.
+
+use crate::metrics::json_str;
+use std::fmt::Write as _;
+
+/// One closed span, destined for a Chrome-trace `"X"` event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name.
+    pub name: String,
+    /// Start time in nanoseconds relative to the run origin.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Worker lane (trace `tid`).
+    pub lane: u32,
+}
+
+/// Serialize events as a Chrome Trace Event Format JSON document.
+///
+/// Events are sorted by `(ts, lane, name)` so the file layout does not
+/// depend on worker completion order (timestamps themselves are
+/// wall-clock, so the *contents* are inherently run-specific).
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by(|a, b| {
+        (a.ts_ns, a.lane, a.name.as_str()).cmp(&(b.ts_ns, b.lane, b.name.as_str()))
+    });
+    let mut body = String::new();
+    for e in sorted {
+        if !body.is_empty() {
+            body.push(',');
+        }
+        let _ = write!(
+            body,
+            "{{\"ph\":\"X\",\"name\":{},\"cat\":\"iac\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{}}}",
+            json_str(&e.name),
+            e.lane,
+            micros(e.ts_ns),
+            micros(e.dur_ns)
+        );
+    }
+    format!("{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{body}]}}")
+}
+
+/// Nanoseconds as a decimal microsecond literal with nanosecond precision
+/// (`1234` ns → `1.234`), avoiding float formatting entirely.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_is_valid_and_sorted() {
+        let events = vec![
+            TraceEvent {
+                name: "late".into(),
+                ts_ns: 5_000,
+                dur_ns: 1_500,
+                lane: 1,
+            },
+            TraceEvent {
+                name: "early".into(),
+                ts_ns: 1_234,
+                dur_ns: 10,
+                lane: 0,
+            },
+        ];
+        let json = chrome_trace_json(&events);
+        assert_eq!(
+            json,
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+             {\"ph\":\"X\",\"name\":\"early\",\"cat\":\"iac\",\"pid\":1,\"tid\":0,\"ts\":1.234,\"dur\":0.010},\
+             {\"ph\":\"X\",\"name\":\"late\",\"cat\":\"iac\",\"pid\":1,\"tid\":1,\"ts\":5.000,\"dur\":1.500}]}"
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_still_a_document() {
+        assert_eq!(
+            chrome_trace_json(&[]),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+        );
+    }
+}

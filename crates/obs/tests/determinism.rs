@@ -1,0 +1,74 @@
+//! Property tests for the registry's determinism contract: the snapshot
+//! JSON is a function of the *multiset* of recordings, never of their
+//! order — whether the reordering happens within one registry or across
+//! sharded registries merged in either order.
+
+use iac_obs::Registry;
+use proptest::prelude::*;
+
+/// A raw generated op: `(kind selector, name selector, value)`, decoded by
+/// [`apply`]. Kept as a plain tuple because the vendored proptest shim has
+/// no `prop_map`/`prop_oneof`.
+type RawOp = (u8, u8, u64);
+
+const COUNTERS: [&str; 3] = ["des.events", "mac.retx", "mac.drops"];
+const GAUGES: [&str; 2] = ["des.queue_high_water", "mac.queue_high_water"];
+const HISTS: [&str; 2] = ["engine.trial_ns", "phy.fft_ns"];
+
+fn apply(r: &Registry, &(kind, idx, v): &RawOp) {
+    match kind % 3 {
+        0 => r.counter(COUNTERS[idx as usize % COUNTERS.len()]).add(v),
+        1 => r.gauge(GAUGES[idx as usize % GAUGES.len()]).observe(v),
+        _ => r.histogram(HISTS[idx as usize % HISTS.len()]).observe(v),
+    }
+}
+
+proptest! {
+    /// Recording the same ops in any interleaving yields identical JSON.
+    #[test]
+    fn interleaving_order_is_invisible(
+        ops in collection::vec((any::<u8>(), any::<u8>(), any::<u64>()), 0..64),
+        seed in any::<u64>(),
+    ) {
+        // Deterministic Fisher–Yates permutation of `ops` driven by `seed`.
+        let mut permuted: Vec<RawOp> = ops.clone();
+        let mut s = seed | 1;
+        for i in (1..permuted.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            permuted.swap(i, j);
+        }
+
+        let a = Registry::new();
+        let b = Registry::new();
+        for op in &ops {
+            apply(&a, op);
+        }
+        for op in &permuted {
+            apply(&b, op);
+        }
+        prop_assert_eq!(a.snapshot().to_json(), b.snapshot().to_json());
+    }
+
+    /// Sharding ops across registries and merging the snapshots — in
+    /// either order — equals recording everything in one registry.
+    #[test]
+    fn sharded_merge_is_order_independent(
+        ops in collection::vec(((any::<u8>(), any::<u8>(), any::<u64>()), any::<bool>()), 0..64),
+    ) {
+        let whole = Registry::new();
+        let left = Registry::new();
+        let right = Registry::new();
+        for (op, goes_left) in &ops {
+            apply(&whole, op);
+            apply(if *goes_left { &left } else { &right }, op);
+        }
+        let (sl, sr) = (left.snapshot(), right.snapshot());
+        let mut lr = sl.clone();
+        lr.merge(&sr);
+        let mut rl = sr.clone();
+        rl.merge(&sl);
+        prop_assert_eq!(lr.to_json(), rl.to_json());
+        prop_assert_eq!(lr.to_json(), whole.snapshot().to_json());
+    }
+}

@@ -170,6 +170,36 @@ impl FftPlan {
 pub struct Scratch {
     pool: Vec<Vec<C64>>,
     plans: Vec<FftPlan>,
+    stats: ScratchStats,
+}
+
+/// Cumulative arena counters (see [`Scratch::stats`]). Plain data: copy it
+/// out, subtract two copies for a delta. A pool *hit* reuses a pooled
+/// buffer; a *miss* allocates a fresh one. A plan hit finds the FFT plan
+/// cached for that size; a miss computes (and caches) it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// `take`/`take_copy` calls served from the pool.
+    pub pool_hits: u64,
+    /// `take`/`take_copy` calls that had to allocate.
+    pub pool_misses: u64,
+    /// `plan` calls served from the cache.
+    pub plan_hits: u64,
+    /// `plan` calls that computed a new plan.
+    pub plan_misses: u64,
+}
+
+impl ScratchStats {
+    /// Counter-wise difference `self − earlier` (for per-phase deltas off a
+    /// long-lived arena, e.g. the thread-local one).
+    pub fn since(&self, earlier: &ScratchStats) -> ScratchStats {
+        ScratchStats {
+            pool_hits: self.pool_hits - earlier.pool_hits,
+            pool_misses: self.pool_misses - earlier.pool_misses,
+            plan_hits: self.plan_hits - earlier.plan_hits,
+            plan_misses: self.plan_misses - earlier.plan_misses,
+        }
+    }
 }
 
 impl Scratch {
@@ -181,7 +211,7 @@ impl Scratch {
     /// Borrow a zero-filled buffer of length `len` from the pool (allocating
     /// only if no pooled buffer exists). Return it with [`Scratch::put`].
     pub fn take(&mut self, len: usize) -> Vec<C64> {
-        let mut buf = self.pool.pop().unwrap_or_default();
+        let mut buf = self.draw();
         buf.clear();
         buf.resize(len, C64::zero());
         buf
@@ -191,10 +221,24 @@ impl Scratch {
     /// followed by `copy_from_slice`, but without the redundant zero-fill in
     /// between.
     pub fn take_copy(&mut self, src: &[C64]) -> Vec<C64> {
-        let mut buf = self.pool.pop().unwrap_or_default();
+        let mut buf = self.draw();
         buf.clear();
         buf.extend_from_slice(src);
         buf
+    }
+
+    /// Pop a pooled buffer (hit) or start a fresh one (miss).
+    fn draw(&mut self) -> Vec<C64> {
+        match self.pool.pop() {
+            Some(buf) => {
+                self.stats.pool_hits += 1;
+                buf
+            }
+            None => {
+                self.stats.pool_misses += 1;
+                Vec::new()
+            }
+        }
     }
 
     /// Return a buffer to the pool for reuse. Its contents are discarded;
@@ -207,8 +251,12 @@ impl Scratch {
     pub fn plan(&mut self, n: usize) -> &FftPlan {
         // Linear scan: a run touches a handful of sizes (64–1024).
         match self.plans.iter().position(|p| p.len() == n) {
-            Some(i) => &self.plans[i],
+            Some(i) => {
+                self.stats.plan_hits += 1;
+                &self.plans[i]
+            }
             None => {
+                self.stats.plan_misses += 1;
                 self.plans.push(FftPlan::new(n));
                 self.plans.last().unwrap()
             }
@@ -223,6 +271,11 @@ impl Scratch {
     /// Number of cached FFT plans (diagnostics/tests).
     pub fn plans_cached(&self) -> usize {
         self.plans.len()
+    }
+
+    /// Cumulative hit/miss counters since the arena was created.
+    pub fn stats(&self) -> ScratchStats {
+        self.stats
     }
 }
 
@@ -308,6 +361,36 @@ mod tests {
         assert!(again.iter().all(|&z| z == C64::zero()));
         s.put(again);
         assert_eq!(s.pooled(), 1);
+    }
+
+    #[test]
+    fn scratch_stats_count_hits_and_misses() {
+        let mut s = Scratch::new();
+        assert_eq!(s.stats(), ScratchStats::default());
+        let a = s.take(8); // empty pool: miss
+        let b = s.take_copy(&a); // still empty: miss
+        s.put(a);
+        s.put(b);
+        let c = s.take(16); // pooled: hit
+        s.put(c);
+        assert_eq!(s.stats().pool_misses, 2);
+        assert_eq!(s.stats().pool_hits, 1);
+        s.plan(64); // first size: miss
+        s.plan(64); // cached: hit
+        s.plan(128); // new size: miss
+        let st = s.stats();
+        assert_eq!((st.plan_hits, st.plan_misses), (1, 2));
+        // Delta accounting off a long-lived arena.
+        let before = s.stats();
+        s.plan(64);
+        let d = s.stats().since(&before);
+        assert_eq!(
+            d,
+            ScratchStats {
+                plan_hits: 1,
+                ..ScratchStats::default()
+            }
+        );
     }
 
     #[test]

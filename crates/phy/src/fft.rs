@@ -34,6 +34,16 @@ pub fn with_thread_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
     THREAD_SCRATCH.with(|s| f(&mut s.borrow_mut()))
 }
 
+/// This thread's cumulative [`ScratchStats`](crate::dsp::ScratchStats) —
+/// pool and plan-cache hit/miss counters for the shared arena. The arena
+/// lives for the thread, so callers wanting per-phase numbers should take a
+/// reading before and after and use [`ScratchStats::since`].
+///
+/// [`ScratchStats::since`]: crate::dsp::ScratchStats::since
+pub fn thread_scratch_stats() -> crate::dsp::ScratchStats {
+    with_thread_scratch(|s| s.stats())
+}
+
 /// In-place forward FFT. Length must be a power of two.
 pub fn fft(x: &mut [C64]) {
     with_thread_scratch(|s| s.plan(x.len()).fft(x));

@@ -43,7 +43,7 @@ pub mod precode;
 pub mod project;
 pub mod training;
 
-pub use dsp::{FftPlan, Scratch};
+pub use dsp::{FftPlan, Scratch, ScratchStats};
 pub use frame::{crc32, Frame};
 pub use medium::{AirTransmission, Medium};
 pub use modulation::{Bpsk, Modulation, Qam16, Qpsk};

@@ -1,0 +1,283 @@
+//! The sweep CLI engine behind `examples/sweep.rs`.
+//!
+//! Arg parsing and the run loop live here (rather than in the example) so
+//! the stdout/stderr separation contract is testable: [`run_sweep`] takes
+//! both streams as writers, and `tests/obs_invariance.rs` pins that the
+//! stdout bytes are identical across `--threads` values **and** across
+//! telemetry flags (`--metrics`/`--trace`/`--progress` on or off) — every
+//! execution-dependent byte (timing, progress, telemetry) goes to stderr or
+//! to the requested export files, never to stdout.
+
+use crate::experiment::DEFAULT_SEED;
+use crate::obs::SweepObs;
+use crate::registry::{self, Quality};
+use std::io::Write;
+use std::time::Instant;
+
+/// Parsed sweep options.
+#[derive(Debug, Clone)]
+pub struct SweepArgs {
+    /// Scenario id, or `"all"`.
+    pub scenario: String,
+    /// Replicate override (`None` = per-scenario default).
+    pub replicates: Option<usize>,
+    /// Worker threads; 0 = `IAC_TEST_THREADS` or all cores.
+    pub threads: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Trial sizing.
+    pub quality: Quality,
+    /// Emit one compact JSON report per scenario instead of tables.
+    pub json: bool,
+    /// List scenarios and exit.
+    pub list: bool,
+    /// Write the metrics snapshot (registry + span profile) here.
+    pub metrics_path: Option<String>,
+    /// Write the Chrome-trace event file here.
+    pub trace_path: Option<String>,
+    /// Announce each scenario on stderr before running it.
+    pub progress: bool,
+}
+
+impl Default for SweepArgs {
+    fn default() -> Self {
+        SweepArgs {
+            scenario: "all".to_string(),
+            replicates: None,
+            threads: 0,
+            seed: DEFAULT_SEED,
+            quality: Quality::Quick,
+            json: false,
+            list: false,
+            metrics_path: None,
+            trace_path: None,
+            progress: false,
+        }
+    }
+}
+
+/// The usage text `examples/sweep.rs` prints on a parse error.
+pub const USAGE: &str = "usage: sweep [--scenario <name>|all] [--replicates N] [--threads N] \
+[--seed N] [--paper] [--json] [--list] [--metrics <path>] [--trace <path>] [--progress]\n\
+\n\
+--scenario    scenario id from the registry (default: all)\n\
+--replicates  independent trials to reduce (default: per-scenario)\n\
+--threads     worker threads; 0 = IAC_TEST_THREADS or all cores (default: 0)\n\
+--seed        master seed, decimal or 0x-hex (default: see --list)\n\
+--paper       paper-quality trial sizing (default: quick)\n\
+--json        print one compact JSON report per scenario\n\
+--list        list registered scenarios and exit\n\
+--metrics     write a metrics snapshot (counters/gauges/histograms + span\n\
+              profile) as JSON to <path>\n\
+--trace       write a Chrome Trace Event Format file to <path> (open in\n\
+              Perfetto / chrome://tracing)\n\
+--progress    announce each scenario on stderr as it starts";
+
+/// Parse `--seed`: decimal or 0x-prefixed hex.
+pub fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Parse a sweep command line (without the program name). `Err` carries a
+/// message for stderr; the caller should exit 2.
+pub fn parse_sweep_args(args: impl IntoIterator<Item = String>) -> Result<SweepArgs, String> {
+    let mut out = SweepArgs::default();
+    let mut args = args.into_iter();
+    let missing = |flag: &str| format!("{flag} needs a value\n\n{USAGE}");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scenario" => out.scenario = args.next().ok_or_else(|| missing("--scenario"))?,
+            "--replicates" => {
+                out.replicates = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| missing("--replicates"))?,
+                )
+            }
+            "--threads" => {
+                out.threads = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| missing("--threads"))?
+            }
+            "--seed" => {
+                out.seed = args
+                    .next()
+                    .as_deref()
+                    .and_then(parse_seed)
+                    .ok_or_else(|| missing("--seed"))?
+            }
+            "--paper" => out.quality = Quality::Paper,
+            "--quick" => out.quality = Quality::Quick,
+            "--json" => out.json = true,
+            "--list" => out.list = true,
+            "--metrics" => {
+                out.metrics_path = Some(args.next().ok_or_else(|| missing("--metrics"))?)
+            }
+            "--trace" => out.trace_path = Some(args.next().ok_or_else(|| missing("--trace"))?),
+            "--progress" => out.progress = true,
+            other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Run a sweep. Aggregate output (tables or `--json`) goes to `stdout`;
+/// timing, progress, and telemetry notices go to `stderr`; metric/trace
+/// exports go to their `--metrics`/`--trace` files. Returns `Ok(false)` for
+/// an unknown scenario name (caller exits 2).
+///
+/// The stdout bytes are bit-identical for every `--threads` value and for
+/// every combination of telemetry flags: telemetry is folded from passive
+/// observations after each scenario's outputs are already reduced.
+pub fn run_sweep(
+    args: &SweepArgs,
+    stdout: &mut dyn Write,
+    stderr: &mut dyn Write,
+) -> std::io::Result<bool> {
+    let scenarios = registry::all();
+
+    if args.list {
+        writeln!(stdout, "{:<22} {:<5} description", "scenario", "reps")?;
+        for s in &scenarios {
+            writeln!(stdout, "{:<22} {:<5} {}", s.name, s.default_replicates, s.about)?;
+        }
+        return Ok(true);
+    }
+
+    let selected: Vec<_> = if args.scenario == "all" {
+        scenarios
+    } else {
+        match registry::find(&args.scenario) {
+            Some(s) => vec![s],
+            None => {
+                writeln!(
+                    stderr,
+                    "unknown scenario '{}'; try --list for the registry",
+                    args.scenario
+                )?;
+                return Ok(false);
+            }
+        }
+    };
+
+    let telemetry = args.metrics_path.is_some() || args.trace_path.is_some();
+    let mut obs = SweepObs::new();
+    for spec in &selected {
+        let replicates = args.replicates.unwrap_or(spec.default_replicates);
+        if args.progress {
+            writeln!(
+                stderr,
+                "[{}] running {} replicates at {} quality...",
+                spec.name,
+                replicates,
+                args.quality.label()
+            )?;
+        }
+        let started = Instant::now();
+        let report = if telemetry {
+            registry::run_scenario_observed(
+                spec,
+                args.quality,
+                args.seed,
+                replicates,
+                args.threads,
+                &mut obs,
+            )
+        } else {
+            registry::run_scenario(spec, args.quality, args.seed, replicates, args.threads)
+        };
+        // Timing is execution-dependent — stderr only, so stdout stays
+        // bit-identical across thread counts.
+        writeln!(
+            stderr,
+            "[{}] {} replicates in {:.2?}",
+            spec.name,
+            replicates,
+            started.elapsed()
+        )?;
+        if args.json {
+            writeln!(stdout, "{}", report.to_json())?;
+        } else {
+            write!(stdout, "{report}")?;
+        }
+    }
+
+    if let Some(path) = &args.metrics_path {
+        std::fs::write(path, obs.metrics_json())?;
+        writeln!(stderr, "metrics snapshot written to {path}")?;
+    }
+    if let Some(path) = &args.trace_path {
+        std::fs::write(path, obs.trace_json())?;
+        writeln!(stderr, "chrome trace written to {path}")?;
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &[&str]) -> SweepArgs {
+        parse_sweep_args(line.iter().map(|s| s.to_string())).expect("parses")
+    }
+
+    #[test]
+    fn flags_parse() {
+        let a = parse(&[
+            "--scenario", "des_load", "--replicates", "2", "--threads", "4", "--seed", "0x1a",
+            "--paper", "--json", "--metrics", "m.json", "--trace", "t.json", "--progress",
+        ]);
+        assert_eq!(a.scenario, "des_load");
+        assert_eq!(a.replicates, Some(2));
+        assert_eq!(a.threads, 4);
+        assert_eq!(a.seed, 0x1a);
+        assert_eq!(a.quality, Quality::Paper);
+        assert!(a.json && a.progress);
+        assert_eq!(a.metrics_path.as_deref(), Some("m.json"));
+        assert_eq!(a.trace_path.as_deref(), Some("t.json"));
+    }
+
+    #[test]
+    fn bad_flags_error_with_usage() {
+        for line in [
+            vec!["--nonesuch"],
+            vec!["--replicates", "0"],
+            vec!["--seed", "zebra"],
+            vec!["--metrics"],
+        ] {
+            let err = parse_sweep_args(line.iter().map(|s| s.to_string())).unwrap_err();
+            assert!(err.contains("usage:"), "{err}");
+        }
+    }
+
+    #[test]
+    fn list_goes_to_stdout_only() {
+        let args = SweepArgs {
+            list: true,
+            ..SweepArgs::default()
+        };
+        let (mut out, mut err) = (Vec::new(), Vec::new());
+        assert!(run_sweep(&args, &mut out, &mut err).unwrap());
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("des_load"));
+        assert!(err.is_empty());
+    }
+
+    #[test]
+    fn unknown_scenario_reports_on_stderr() {
+        let args = SweepArgs {
+            scenario: "nonesuch".to_string(),
+            ..SweepArgs::default()
+        };
+        let (mut out, mut err) = (Vec::new(), Vec::new());
+        assert!(!run_sweep(&args, &mut out, &mut err).unwrap());
+        assert!(out.is_empty());
+        assert!(String::from_utf8(err).unwrap().contains("unknown scenario"));
+    }
+}

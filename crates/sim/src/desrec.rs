@@ -94,6 +94,35 @@ pub fn run_plain(run: &DesRun) -> NetSimOutcome {
     netsim::run_netsim(&run.spec, run.phy.clone())
 }
 
+/// Run one constituent simulation with the passive kind-counting observer
+/// attached and its telemetry facts harvested. The outcome is identical to
+/// [`run_plain`]'s.
+pub fn run_observed(run: &DesRun) -> (NetSimOutcome, netsim::DesRunFacts) {
+    let (out, mut facts) = netsim::run_netsim_observed(&run.spec, run.phy.clone());
+    facts.label.clone_from(&run.label);
+    (out, facts)
+}
+
+/// One full trial with telemetry: every constituent run observed, the
+/// [`TrialOutput`] reconstructed through [`trial_output_from`] — the same
+/// pure path replay verification uses, so the output is bit-identical to
+/// the live registry entry's (pinned by `tests/obs_invariance.rs`).
+pub fn observed_trial(
+    name: &str,
+    quality: Quality,
+    trial_seed: u64,
+) -> (TrialOutput, Vec<netsim::DesRunFacts>) {
+    let runs = des_runs(name, quality, trial_seed);
+    let mut outcomes = Vec::with_capacity(runs.len());
+    let mut facts = Vec::with_capacity(runs.len());
+    for run in &runs {
+        let (out, f) = run_observed(run);
+        outcomes.push(out);
+        facts.push(f);
+    }
+    (trial_output_from(name, quality, trial_seed, outcomes), facts)
+}
+
 /// Run one constituent simulation with recording; returns the encoded event
 /// log alongside the outcome. The outcome is identical to [`run_plain`]'s
 /// (the recorder is a passive observer).
@@ -108,6 +137,19 @@ pub fn record(run: &DesRun) -> (Vec<u8>, NetSimOutcome) {
 /// verification.
 pub fn replay(run: &DesRun, log: &EventLog) -> Result<NetSimOutcome, Box<Divergence>> {
     netsim::run_netsim_replayed(&run.spec, run.phy.clone(), log)
+}
+
+/// [`replay`] with telemetry facts harvested after verification succeeds
+/// (the replay checker owns the observer slot, so per-kind counts stay
+/// empty — see `netsim::run_netsim_replayed_observed`). The outcome is
+/// bit-identical to [`replay`]'s.
+pub fn replay_observed(
+    run: &DesRun,
+    log: &EventLog,
+) -> Result<(NetSimOutcome, netsim::DesRunFacts), Box<Divergence>> {
+    let (out, mut facts) = netsim::run_netsim_replayed_observed(&run.spec, run.phy.clone(), log)?;
+    facts.label.clone_from(&run.label);
+    Ok((out, facts))
 }
 
 /// The campus trial's registry metrics from its report — the single metric

@@ -24,7 +24,10 @@
 //! the plain-data outputs ever cross a thread boundary.
 
 use iac_linalg::Rng64;
+use iac_obs::{ProfileTree, Profiler, TraceEvent};
+use iac_phy::ScratchStats;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// One unit of work for the pool: a replicate index and the seed that
 /// replicate must use — everything a worker needs, nothing more. The
@@ -113,6 +116,173 @@ where
     merged.into_iter().map(|(_, t)| t).collect()
 }
 
+/// Wall-clock timing of one trial, as observed by
+/// [`run_trials_observed`]. Timestamps are relative to the run's start, so
+/// all lanes share one time base (the Chrome-trace convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialTiming {
+    /// Trial index within the run.
+    pub index: usize,
+    /// Worker lane that executed the trial (`tid` in the trace).
+    pub lane: u32,
+    /// Nanoseconds from run start to trial start.
+    pub start_ns: u64,
+    /// Trial duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// One worker lane's contribution to a [`run_trials_observed`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerFacts {
+    /// Lane id, `0..threads`.
+    pub lane: u32,
+    /// Trials this lane claimed.
+    pub trials: u64,
+    /// The lane's scratch-arena activity **delta** over the run
+    /// ([`iac_phy::fft::thread_scratch_stats`] before/after — the arena is
+    /// thread-local and outlives the run, so only the delta is attributable).
+    pub scratch: ScratchStats,
+}
+
+/// Everything [`run_trials_observed`] learns about a run beyond its
+/// outputs. Entirely execution-dependent (wall-clock, lane assignment) —
+/// never feed any of it back into simulation results.
+#[derive(Debug, Clone, Default)]
+pub struct EngineFacts {
+    /// Per-trial wall-clock timings, in trial order. Empty when the `obs`
+    /// feature is off (spans compile out).
+    pub timings: Vec<TrialTiming>,
+    /// Per-lane summaries, in lane order.
+    pub workers: Vec<WorkerFacts>,
+    /// The merged span-profile tree across all lanes.
+    pub profile: ProfileTree,
+    /// Chrome-trace events (one per trial span), unsorted across lanes.
+    pub trace: Vec<TraceEvent>,
+}
+
+/// Per-lane observation state: a tracing profiler, the claim order (to map
+/// trace events back to trial indices), and the scratch-stats baseline.
+struct Lane {
+    lane: u32,
+    prof: Profiler,
+    order: Vec<usize>,
+    scratch_before: ScratchStats,
+}
+
+impl Lane {
+    fn start(lane: u32, origin: Instant) -> Self {
+        Lane {
+            lane,
+            prof: Profiler::with_trace(lane, origin),
+            order: Vec::new(),
+            scratch_before: iac_phy::fft::thread_scratch_stats(),
+        }
+    }
+
+    fn observe<T>(&mut self, i: usize, run: &impl Fn(usize) -> T) -> T {
+        self.order.push(i);
+        let _span = iac_obs::span!(self.prof, "trial");
+        run(i)
+    }
+
+    /// Seal the lane's observations. Must run **on the lane's own thread**:
+    /// the scratch-arena delta reads the thread-local stats.
+    fn finish(self) -> LaneFacts {
+        LaneFacts {
+            lane: self.lane,
+            scratch: iac_phy::fft::thread_scratch_stats().since(&self.scratch_before),
+            tree: self.prof.tree(),
+            events: self.prof.take_trace_events(),
+            order: self.order,
+        }
+    }
+}
+
+/// A lane's sealed observations, safe to ship across threads.
+struct LaneFacts {
+    lane: u32,
+    order: Vec<usize>,
+    tree: ProfileTree,
+    events: Vec<TraceEvent>,
+    scratch: ScratchStats,
+}
+
+impl LaneFacts {
+    /// Fold into the run-wide facts. Trial spans open and close
+    /// sequentially on one lane, so the lane's trace events line up
+    /// one-to-one with its claim order (or are absent entirely when
+    /// telemetry is compiled out).
+    fn fold_into(self, facts: &mut EngineFacts) {
+        for (&index, ev) in self.order.iter().zip(self.events.iter()) {
+            facts.timings.push(TrialTiming {
+                index,
+                lane: self.lane,
+                start_ns: ev.ts_ns,
+                dur_ns: ev.dur_ns,
+            });
+        }
+        facts.workers.push(WorkerFacts {
+            lane: self.lane,
+            trials: self.order.len() as u64,
+            scratch: self.scratch,
+        });
+        facts.profile.merge(&self.tree);
+        facts.trace.extend(self.events);
+    }
+}
+
+/// [`run_trials`] plus passive observation: per-trial wall-clock timings,
+/// per-lane scratch-arena deltas, and a merged span profile. The outputs are
+/// computed by the identical claim/merge/sort machinery, so they are
+/// bit-identical to [`run_trials`]'s for every thread count — the facts ride
+/// alongside and never influence them.
+pub fn run_trials_observed<T, F>(n: usize, threads: usize, run: F) -> (Vec<T>, EngineFacts)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let origin = Instant::now();
+    let mut facts = EngineFacts::default();
+    let threads = resolve_threads(threads).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        let mut lane = Lane::start(0, origin);
+        let out: Vec<T> = (0..n).map(|i| lane.observe(i, &run)).collect();
+        lane.finish().fold_into(&mut facts);
+        return (out, facts);
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut merged: Vec<(usize, T)> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads as u32)
+            .map(|lane_id| {
+                let run = &run;
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut lane = Lane::start(lane_id, origin);
+                    let mut shard: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        shard.push((i, lane.observe(i, run)));
+                    }
+                    (shard, lane.finish())
+                })
+            })
+            .collect();
+        for h in handles {
+            let (shard, lane) = h.join().expect("trial worker panicked");
+            merged.extend(shard);
+            lane.fold_into(&mut facts);
+        }
+    });
+    merged.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(merged.len(), n);
+    facts.timings.sort_by_key(|t| t.index);
+    (merged.into_iter().map(|(_, t)| t).collect(), facts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +329,53 @@ mod tests {
     fn explicit_thread_request_wins_over_env() {
         assert_eq!(resolve_threads(5), 5);
         assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn observed_outputs_match_plain_for_every_thread_count() {
+        let serial: Vec<u64> = (0..23).map(|i| Rng64::derive(3, i as u64).next_u64()).collect();
+        for threads in [1, 2, 4] {
+            let (out, facts) =
+                run_trials_observed(23, threads, |i| Rng64::derive(3, i as u64).next_u64());
+            assert_eq!(out, serial, "threads = {threads}");
+            assert_eq!(
+                facts.workers.iter().map(|w| w.trials).sum::<u64>(),
+                23,
+                "every trial is claimed by exactly one lane"
+            );
+            if iac_obs::ENABLED {
+                assert_eq!(facts.timings.len(), 23);
+                for (k, t) in facts.timings.iter().enumerate() {
+                    assert_eq!(t.index, k, "timings come back in trial order");
+                }
+                assert_eq!(facts.trace.len(), 23);
+                assert_eq!(facts.profile.roots.len(), 1);
+                assert_eq!(facts.profile.roots[0].name, "trial");
+                assert_eq!(facts.profile.roots[0].count, 23);
+            } else {
+                assert!(facts.timings.is_empty(), "spans compile out");
+                assert!(facts.trace.is_empty());
+                assert!(facts.profile.roots.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn observed_scratch_deltas_are_per_run() {
+        // A trial that exercises the thread-local FFT arena must show up in
+        // its lane's delta — and only the delta, not the thread's lifetime
+        // totals (the arena persists across runs on one thread).
+        let (_, first) = run_trials_observed(2, 1, |_| {
+            let mut x = vec![iac_linalg::C64::one(); 64];
+            iac_phy::fft::fft(&mut x);
+        });
+        let (_, second) = run_trials_observed(2, 1, |_| {
+            let mut x = vec![iac_linalg::C64::one(); 64];
+            iac_phy::fft::fft(&mut x);
+        });
+        let total =
+            |f: &EngineFacts| f.workers.iter().map(|w| w.scratch.plan_hits + w.scratch.plan_misses).sum::<u64>();
+        assert_eq!(total(&first), 2);
+        assert_eq!(total(&second), 2, "second run reports its own delta, not the cumulative total");
     }
 }

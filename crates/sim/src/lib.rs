@@ -35,19 +35,28 @@
 //!   from replayed outcomes (see `docs/DES.md` § "Record/replay").
 //! * [`metrics`] — latency CDFs, sliding-window throughput, Jain fairness
 //!   over a discrete-event run's raw records.
+//! * [`obs`] — the telemetry bridge: per-trial/per-run facts folded into an
+//!   `iac-obs` metric registry, span profile, and Chrome trace (strictly
+//!   passive; see `docs/OBSERVABILITY.md`).
+//! * [`cli`] — the sweep CLI engine (`examples/sweep.rs` is a thin
+//!   wrapper): arg parsing and the run loop with an enforced
+//!   stdout/stderr/export-file separation.
 
+pub mod cli;
 pub mod desrec;
 pub mod engine;
 pub mod experiment;
 pub mod metrics;
 pub mod netsim;
+pub mod obs;
 pub mod registry;
 pub mod samplelevel;
 pub mod scenarios;
 pub mod stats;
 pub mod testbed;
 
-pub use engine::{run_trials, Trial};
+pub use engine::{run_trials, run_trials_observed, EngineFacts, Trial};
+pub use obs::{SweepObs, TrialFacts};
 pub use experiment::{ExperimentConfig, ScatterPoint, DEFAULT_SEED};
 pub use netsim::{CalibratedPhy, NetSim, NetSimOutcome, SourceSpec};
 pub use registry::{Quality, Scenario, ScenarioReport, TrialOutput};

@@ -262,6 +262,101 @@ pub fn run_netsim(spec: &NetSim, phy: CalibratedPhy) -> NetSimOutcome {
     outcome_of(&sim, &metrics, events)
 }
 
+/// Telemetry facts harvested from one completed run — engine queue
+/// statistics, per-kind event counts, and the MAC counters already in the
+/// [`MetricsLog`], flattened to plain data for the sweep's metric registry.
+/// Everything here is read *after* the run finishes; nothing feeds back.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DesRunFacts {
+    /// Run label within its trial (see `desrec::DesRun`); empty when the
+    /// run was not launched through `desrec`.
+    pub label: String,
+    /// Events the engine dispatched.
+    pub events_processed: u64,
+    /// Events ever scheduled (fired + cancelled + undeliverable).
+    pub events_scheduled: u64,
+    /// Events cancelled before firing.
+    pub events_cancelled: u64,
+    /// Events dropped because their component had been removed.
+    pub events_undeliverable: u64,
+    /// Deepest the future-event queue ever got.
+    pub queue_high_water: usize,
+    /// Dispatched events per payload kind, in label order.
+    pub event_kinds: Vec<(&'static str, u64)>,
+    /// Packets offered by the traffic sources.
+    pub offered: u64,
+    /// Packets delivered (both directions).
+    pub delivered: u64,
+    /// MAC tail drops at a full queue on arrival.
+    pub drops_overflow: u64,
+    /// MAC drops after exhausting the retransmission budget.
+    pub drops_retx: u64,
+    /// MAC retransmission attempts.
+    pub retx: u64,
+    /// Poll rounds (concurrent-transmission groups) started.
+    pub poll_rounds: u64,
+    /// Contention-free periods completed.
+    pub cfps: u64,
+    /// Microseconds the air carried frames.
+    pub air_busy_us: f64,
+    /// Simulated run length, µs.
+    pub end_time_us: f64,
+    /// Deepest MAC queue depth among the per-CFP samples (either
+    /// direction). Sampled at CFP starts, not continuous.
+    pub mac_queue_peak: usize,
+}
+
+/// Flatten a finished run into [`DesRunFacts`]: engine queue statistics
+/// from the simulation, MAC counters from the outcome's [`MetricsLog`],
+/// plus whatever per-kind counts the caller's observer collected (empty
+/// when the observer slot was spoken for, as in replay verification).
+fn facts_of(
+    sim: &Simulation<NetEvent>,
+    out: &NetSimOutcome,
+    event_kinds: Vec<(&'static str, u64)>,
+) -> DesRunFacts {
+    DesRunFacts {
+        label: String::new(),
+        events_processed: out.events,
+        events_scheduled: sim.events_scheduled(),
+        events_cancelled: sim.events_cancelled(),
+        events_undeliverable: sim.events_undeliverable(),
+        queue_high_water: sim.queue_high_water(),
+        event_kinds,
+        offered: out.log.offered,
+        delivered: out.log.delivered.len() as u64,
+        drops_overflow: out.log.drops_overflow,
+        drops_retx: out.log.drops_retx,
+        retx: out.log.retx,
+        poll_rounds: out.log.poll_rounds,
+        cfps: out.log.cfps,
+        air_busy_us: out.log.air_busy_us,
+        end_time_us: out.end_time.micros(),
+        mac_queue_peak: out
+            .log
+            .queue_depth
+            .iter()
+            .map(|s| s.downlink.max(s.uplink))
+            .max()
+            .unwrap_or(0),
+    }
+}
+
+/// [`run_netsim`] with a passive event-kind counter attached and the run's
+/// telemetry facts harvested afterwards. The outcome is identical to
+/// [`run_netsim`]'s — the observer sees events but cannot touch them, and
+/// every fact is read from state the plain run accumulates anyway.
+pub fn run_netsim_observed(spec: &NetSim, phy: CalibratedPhy) -> (NetSimOutcome, DesRunFacts) {
+    let (mut sim, metrics) = build_netsim(spec, phy);
+    let kinds = iac_des::SharedKindCounts::new();
+    sim.set_observer(Box::new(iac_des::EventKindCounter::new(kinds.clone())));
+    let events = sim.step_until_no_events();
+    sim.take_observer();
+    let out = outcome_of(&sim, &metrics, events);
+    let facts = facts_of(&sim, &out, kinds.counts());
+    (out, facts)
+}
+
 /// [`run_netsim`] with every fired event streamed to `sink` in the
 /// `iac-des::log` wire format. The outcome is identical to the unrecorded
 /// run's (the recorder is a passive observer); the sink ends up holding a
@@ -293,6 +388,23 @@ pub fn run_netsim_replayed(
     let (mut sim, metrics) = build_netsim(spec, phy);
     let summary = iac_des::Replayer::new(log.clone()).run(&mut sim)?;
     Ok(outcome_of(&sim, &metrics, summary.events))
+}
+
+/// [`run_netsim_replayed`] with the run's telemetry facts harvested after
+/// verification succeeds. The replay checker owns the observer slot, so
+/// `event_kinds` stays empty; every other fact (queue statistics, MAC
+/// counters) is read from the same post-run state the live observed runner
+/// uses, and the outcome is bit-identical to [`run_netsim_replayed`]'s.
+pub fn run_netsim_replayed_observed(
+    spec: &NetSim,
+    phy: CalibratedPhy,
+    log: &iac_des::EventLog,
+) -> Result<(NetSimOutcome, DesRunFacts), Box<iac_des::Divergence>> {
+    let (mut sim, metrics) = build_netsim(spec, phy);
+    let summary = iac_des::Replayer::new(log.clone()).run(&mut sim)?;
+    let out = outcome_of(&sim, &metrics, summary.events);
+    let facts = facts_of(&sim, &out, Vec::new());
+    Ok((out, facts))
 }
 
 #[cfg(test)]
@@ -343,5 +455,41 @@ mod tests {
         );
         assert!(out.end_time >= SimTime::from_millis(39.0));
         assert!(out.events > out.log.offered);
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_and_harvests_facts() {
+        let (iac, _) = pools();
+        let spec = NetSim {
+            seed: 23,
+            cfg: EventPcfConfig {
+                horizon: SimTime::from_millis(30.0),
+                queue_capacity: Some(16),
+                ..EventPcfConfig::default()
+            },
+            sources: (0..3)
+                .map(|c| SourceSpec::steady(c, true, ArrivalProcess::poisson(700.0)))
+                .collect(),
+        };
+        let phy = CalibratedPhy::new(iac, 0.5, 0.01, 3);
+        let plain = run_netsim(&spec, phy.clone());
+        let (observed, facts) = run_netsim_observed(&spec, phy);
+        // The observer is passive: same log, same event count, same clock.
+        assert_eq!(plain.log, observed.log);
+        assert_eq!(plain.events, observed.events);
+        assert_eq!(plain.end_time, observed.end_time);
+        // The facts describe the run the plain path also produced.
+        assert_eq!(facts.events_processed, plain.events);
+        assert_eq!(
+            facts.event_kinds.iter().map(|&(_, n)| n).sum::<u64>(),
+            plain.events,
+            "kind counts partition the dispatched events"
+        );
+        assert!(facts.queue_high_water > 0);
+        assert!(facts.events_scheduled >= facts.events_processed);
+        assert_eq!(facts.offered, plain.log.offered);
+        assert!(facts.air_busy_us > 0.0);
+        assert!(facts.air_busy_us < facts.end_time_us);
+        assert!(facts.poll_rounds > 0);
     }
 }

@@ -34,6 +34,7 @@
 
 use crate::engine;
 use crate::experiment::ExperimentConfig;
+use crate::obs::{SweepObs, TrialFacts};
 use crate::scenarios::{
     ablations, clustered, des_campus, des_load, fig12, fig13, fig14, fig15, fig16, lemmas, ofdm,
     overhead, sec6,
@@ -75,6 +76,10 @@ impl TrialOutput {
     }
 }
 
+/// An observed trial entry point: same trial as [`Scenario::run`], plus
+/// the run facts a `--metrics`/`--trace` sweep folds into its registry.
+pub type ObservedTrialFn = fn(Quality, u64) -> (TrialOutput, TrialFacts);
+
 /// A registered scenario: a name, a one-line description, and the uniform
 /// entry point.
 #[derive(Clone, Copy)]
@@ -87,6 +92,10 @@ pub struct Scenario {
     pub default_replicates: usize,
     /// The uniform entry point: one independent trial from one seed.
     pub run: fn(Quality, u64) -> TrialOutput,
+    /// Telemetry variant: same trial, identical [`TrialOutput`] (pinned by
+    /// `tests/obs_invariance.rs`), plus the harvested run facts. `None`
+    /// for scenarios whose only telemetry is engine-level timing.
+    pub run_obs: Option<ObservedTrialFn>,
 }
 
 /// FNV-1a over the scenario name: a stable, dependency-free name hash for
@@ -361,6 +370,16 @@ fn run_des_load(q: Quality, seed: u64) -> TrialOutput {
     crate::desrec::load_trial_output(&r)
 }
 
+fn run_des_campus_obs(q: Quality, seed: u64) -> (TrialOutput, TrialFacts) {
+    let (out, des_runs) = crate::desrec::observed_trial("des_campus", q, seed);
+    (out, TrialFacts { des_runs })
+}
+
+fn run_des_load_obs(q: Quality, seed: u64) -> (TrialOutput, TrialFacts) {
+    let (out, des_runs) = crate::desrec::observed_trial("des_load", q, seed);
+    (out, TrialFacts { des_runs })
+}
+
 /// Every registered scenario, in presentation order.
 pub fn all() -> Vec<Scenario> {
     fn s(
@@ -374,6 +393,20 @@ pub fn all() -> Vec<Scenario> {
             about,
             default_replicates,
             run,
+            run_obs: None,
+        }
+    }
+    // A DES row: same as `s`, plus the telemetry-harvesting trial variant.
+    fn sd(
+        name: &'static str,
+        about: &'static str,
+        default_replicates: usize,
+        run: fn(Quality, u64) -> TrialOutput,
+        run_obs: fn(Quality, u64) -> (TrialOutput, TrialFacts),
+    ) -> Scenario {
+        Scenario {
+            run_obs: Some(run_obs),
+            ..s(name, about, default_replicates, run)
         }
     }
     vec![
@@ -393,8 +426,8 @@ pub fn all() -> Vec<Scenario> {
         s("ablation_estimation", "gain vs channel-estimation SNR", 8, run_ablation_estimation),
         s("ablation_similarity", "gain vs client-channel similarity", 8, run_ablation_similarity),
         s("ablation_alignment", "alignment on/off SINR contrast", 8, run_ablation_alignment),
-        s("des_campus", "dynamic-arrival campus uplink with churn", 4, run_des_campus),
-        s("des_load", "offered-load sweep: latency knees", 4, run_des_load),
+        sd("des_campus", "dynamic-arrival campus uplink with churn", 4, run_des_campus, run_des_campus_obs),
+        sd("des_load", "offered-load sweep: latency knees", 4, run_des_load, run_des_load_obs),
     ]
 }
 
@@ -503,6 +536,47 @@ pub fn run_scenario(
     let trials = engine::trials_for(scen_seed, replicates);
     let run = spec.run;
     let outputs = engine::run_trials(trials.len(), threads, |i| run(quality, trials[i].seed));
+    reduce(spec, quality, master_seed, replicates, &outputs)
+}
+
+/// [`run_scenario`] with telemetry: trials run through the observed engine
+/// (per-trial timings, lane scratch deltas) and, for scenarios with a
+/// `run_obs` variant, per-run DES/MAC facts; everything folds into `obs`.
+/// The returned report is **bit-identical** to [`run_scenario`]'s — the
+/// facts ride alongside the outputs and never touch them (pinned by
+/// `tests/obs_invariance.rs`).
+pub fn run_scenario_observed(
+    spec: &Scenario,
+    quality: Quality,
+    master_seed: u64,
+    replicates: usize,
+    threads: usize,
+    obs: &mut SweepObs,
+) -> ScenarioReport {
+    let scen_seed = scenario_seed(master_seed, spec.name);
+    let trials = engine::trials_for(scen_seed, replicates);
+    let run = spec.run;
+    let run_obs = spec.run_obs;
+    let (pairs, engine_facts) =
+        engine::run_trials_observed(trials.len(), threads, |i| match run_obs {
+            Some(ro) => ro(quality, trials[i].seed),
+            None => (run(quality, trials[i].seed), TrialFacts::default()),
+        });
+    let (outputs, trial_facts): (Vec<TrialOutput>, Vec<TrialFacts>) = pairs.into_iter().unzip();
+    obs.record_scenario(spec.name, &engine_facts, &trial_facts);
+    reduce(spec, quality, master_seed, replicates, &outputs)
+}
+
+/// The shared order-independent reduce: trial outputs (already in trial
+/// order) to `mean ± 95 % CI` per metric. Both `run_scenario` variants go
+/// through here, so an observed sweep cannot drift from a plain one.
+fn reduce(
+    spec: &Scenario,
+    quality: Quality,
+    master_seed: u64,
+    replicates: usize,
+    outputs: &[TrialOutput],
+) -> ScenarioReport {
     let mut metrics: Vec<MetricAggregate> = Vec::new();
     if let Some(first) = outputs.first() {
         for (idx, &(name, _)) in first.metrics.iter().enumerate() {
@@ -575,6 +649,21 @@ mod tests {
         assert!(json.starts_with("{\"scenario\":\"sec7_overhead\""));
         assert!(json.contains("\"wireless_overhead\""));
         assert!(format!("{r}").contains("sec7_overhead"));
+    }
+
+    #[test]
+    fn observed_scenario_report_is_bit_identical() {
+        let spec = find("sec7_overhead").unwrap();
+        let plain = run_scenario(&spec, Quality::Quick, 7, 3, 1);
+        let mut obs = SweepObs::new();
+        let observed = run_scenario_observed(&spec, Quality::Quick, 7, 3, 1, &mut obs);
+        assert_eq!(plain, observed);
+        assert_eq!(plain.to_json(), observed.to_json());
+        let json = obs.metrics_json();
+        assert!(
+            json.contains("\"engine.sec7_overhead.trials\":3"),
+            "engine telemetry missing from {json}"
+        );
     }
 
     #[test]

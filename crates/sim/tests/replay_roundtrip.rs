@@ -176,3 +176,31 @@ fn registry_report_matches_replay_reconstruction_per_trial() {
         }
     }
 }
+
+#[test]
+fn observed_replay_is_bit_identical_and_harvests_facts() {
+    // Telemetry on the replay path is passive too: `replay_observed` must
+    // return the exact outcome `replay` does, plus facts whose engine/MAC
+    // numbers match the recording (per-kind counts stay empty — the replay
+    // checker owns the observer slot).
+    let seed = trial0_seed("des_campus");
+    let runs = desrec::des_runs("des_campus", Quality::Quick, seed);
+    for run in &runs {
+        let (bytes, _) = desrec::record(run);
+        let log = EventLog::decode(&bytes).unwrap();
+        let plain = desrec::replay(run, &log)
+            .unwrap_or_else(|d| panic!("plain replay diverged:\n{}", d.render::<NetEvent>()));
+        let (observed, facts) = desrec::replay_observed(run, &log)
+            .unwrap_or_else(|d| panic!("observed replay diverged:\n{}", d.render::<NetEvent>()));
+        assert_eq!(plain.log, observed.log, "{}: telemetry perturbed replay", run.label);
+        assert_eq!(plain.events, observed.events, "{}", run.label);
+        assert_eq!(plain.end_time, observed.end_time, "{}", run.label);
+        assert_eq!(facts.label, run.label);
+        assert_eq!(facts.events_processed, log.len() as u64);
+        assert!(facts.event_kinds.is_empty(), "observer slot was taken by the checker");
+        assert!(facts.queue_high_water > 0);
+        assert_eq!(facts.delivered, observed.log.delivered.len() as u64);
+        assert_eq!(facts.poll_rounds, observed.log.poll_rounds);
+        assert_eq!(facts.end_time_us.to_bits(), observed.end_time.micros().to_bits());
+    }
+}

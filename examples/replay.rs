@@ -24,6 +24,12 @@
 //! metrics/trial JSON byte-for-byte against the recorded files; any
 //! divergence prints the first mismatching event with context and exits
 //! nonzero. `diff` aligns two logs and prints where they fork.
+//!
+//! `replay` also takes the sweep CLI's telemetry flags — `--metrics <path>`
+//! (registry snapshot + span profile of the replay), `--trace <path>`
+//! (Chrome trace, one span per constituent run), `--progress` (per-run
+//! stderr lines). All strictly passive: the verification verdict and both
+//! stdout summaries are byte-identical with or without them.
 
 use iac_lan::des::log::{render_diff, EventLog};
 use iac_lan::des::NetEvent;
@@ -40,7 +46,11 @@ fn usage() -> ! {
          record --scenario <name> --out <dir> [--seed N] [--trial I] [--paper]\n\
          \x20   record every constituent run of one DES trial into <dir>\n\
          replay --scenario <name> --dir <dir> [--seed N] [--trial I] [--paper]\n\
-         \x20   re-run from <dir>'s logs under bit-exact verification\n\
+         \x20      [--metrics <path>] [--trace <path>] [--progress]\n\
+         \x20   re-run from <dir>'s logs under bit-exact verification;\n\
+         \x20   optionally export a telemetry snapshot / Chrome trace of the\n\
+         \x20   replay itself (per-kind event counts stay empty — the replay\n\
+         \x20   checker owns the observer slot)\n\
          diff <a.iaclog> <b.iaclog>\n\
          \x20   align two event logs and print the first divergent event\n\
          dump <log.iaclog> [--limit N]\n\
@@ -69,15 +79,23 @@ struct TrialArgs {
     quality: Quality,
     master_seed: u64,
     trial: usize,
+    metrics: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    progress: bool,
 }
 
 /// Parse the shared record/replay flags; `dir_flag` is `--out` or `--dir`.
-fn parse_trial_args(args: &[String], dir_flag: &str) -> TrialArgs {
+/// The telemetry flags (`--metrics`/`--trace`/`--progress`) are only legal
+/// when `telemetry` is set — i.e. for the `replay` subcommand.
+fn parse_trial_args(args: &[String], dir_flag: &str, telemetry: bool) -> TrialArgs {
     let mut scenario = None;
     let mut dir = None;
     let mut quality = Quality::Quick;
     let mut master_seed = DEFAULT_SEED;
     let mut trial = 0usize;
+    let mut metrics = None;
+    let mut trace = None;
+    let mut progress = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -98,6 +116,9 @@ fn parse_trial_args(args: &[String], dir_flag: &str) -> TrialArgs {
             }
             "--paper" => quality = Quality::Paper,
             "--quick" => quality = Quality::Quick,
+            "--metrics" if telemetry => metrics = it.next().map(PathBuf::from),
+            "--trace" if telemetry => trace = it.next().map(PathBuf::from),
+            "--progress" if telemetry => progress = true,
             _ => usage(),
         }
     }
@@ -115,6 +136,9 @@ fn parse_trial_args(args: &[String], dir_flag: &str) -> TrialArgs {
         quality,
         master_seed,
         trial,
+        metrics,
+        trace,
+        progress,
     }
 }
 
@@ -162,7 +186,7 @@ fn read_log(path: &Path) -> EventLog {
 }
 
 fn cmd_record(args: &[String]) {
-    let a = parse_trial_args(args, "--out");
+    let a = parse_trial_args(args, "--out", false);
     let seed = trial_seed(&a);
     std::fs::create_dir_all(&a.dir).expect("create output directory");
     let runs = desrec::des_runs(&a.scenario, a.quality, seed);
@@ -200,15 +224,33 @@ fn cmd_record(args: &[String]) {
 }
 
 fn cmd_replay(args: &[String]) {
-    let a = parse_trial_args(args, "--dir");
+    let a = parse_trial_args(args, "--dir", true);
     let seed = trial_seed(&a);
     let runs = desrec::des_runs(&a.scenario, a.quality, seed);
+    let telemetry = a.metrics.is_some() || a.trace.is_some();
+    // Telemetry on the replay itself: one span per constituent run, the
+    // facts harvested after each run verifies. Strictly passive — the
+    // verification result and both stdout summaries are unaffected.
+    let prof = iac_lan::obs::Profiler::with_trace(0, std::time::Instant::now());
+    let mut obs = iac_lan::sim::obs::SweepObs::new();
     let mut outcomes = Vec::with_capacity(runs.len());
     let mut events = 0u64;
     for run in &runs {
         let log = read_log(&a.dir.join(format!("{}.iaclog", run.label)));
         events += log.len() as u64;
-        let out = match desrec::replay(run, &log) {
+        if a.progress {
+            eprintln!("[replay] {}: verifying {} event(s) ...", run.label, log.len());
+        }
+        let replayed = if telemetry {
+            let _span = iac_lan::obs::span!(prof, "run");
+            desrec::replay_observed(run, &log).map(|(out, facts)| {
+                obs.record_des_run(&facts);
+                out
+            })
+        } else {
+            desrec::replay(run, &log)
+        };
+        let out = match replayed {
             Ok(out) => out,
             Err(d) => {
                 eprintln!("[replay] {} DIVERGED:\n{}", run.label, d.render::<NetEvent>());
@@ -248,6 +290,26 @@ fn cmd_replay(args: &[String]) {
         Err(e) => {
             eprintln!("cannot read {}: {e}", trial_path.display());
             std::process::exit(2);
+        }
+    }
+    if telemetry {
+        obs.profile.merge(&prof.tree());
+        // Replay spans are all named "run"; retag with the run labels (one
+        // span per run, in order) so the trace reads per-run in Perfetto.
+        let spans = prof.take_trace_events();
+        obs.trace.extend(spans.iter().zip(&runs).map(|(e, run)| {
+            iac_lan::obs::TraceEvent {
+                name: run.label.clone(),
+                ..e.clone()
+            }
+        }));
+        if let Some(path) = &a.metrics {
+            std::fs::write(path, obs.metrics_json()).expect("write metrics snapshot");
+            eprintln!("[replay] metrics snapshot written to {}", path.display());
+        }
+        if let Some(path) = &a.trace {
+            std::fs::write(path, obs.trace_json()).expect("write trace");
+            eprintln!("[replay] chrome trace written to {}", path.display());
         }
     }
     println!(

@@ -2,146 +2,45 @@
 //!
 //! Replaces the per-figure ad-hoc mains: pick a scenario (or `all`), a
 //! replicate count, a worker-thread count, and a master seed, and get each
-//! metric reported as `mean ± 95 % CI` over the replicates.
+//! metric reported as `mean ± 95 % CI` over the replicates. Telemetry is
+//! opt-in: `--metrics`/`--trace` export a metrics snapshot and a Chrome
+//! trace without perturbing the aggregate output by a single byte.
 //!
 //! ```text
 //! cargo run --release --example sweep -- --list
 //! cargo run --release --example sweep -- --scenario fig14 --replicates 8
 //! cargo run --release --example sweep -- --scenario all --paper --threads 8 --seed 42
 //! cargo run --release --example sweep -- --scenario fig12 --json
+//! cargo run --release --example sweep -- --scenario des_load --metrics m.json --trace t.json
 //! ```
 //!
-//! Determinism guarantee (see `docs/EXPERIMENTS.md`): the aggregate output
-//! on **stdout** is bit-identical for every `--threads` value — timing and
-//! progress go to stderr, everything seed-derived goes to stdout.
+//! Determinism guarantee (see `docs/EXPERIMENTS.md` and
+//! `docs/OBSERVABILITY.md`): the aggregate output on **stdout** is
+//! bit-identical for every `--threads` value and every telemetry-flag
+//! combination — timing, progress, and telemetry go to stderr or to the
+//! export files, everything seed-derived goes to stdout.
+//!
+//! The implementation lives in `iac_sim::cli` so the stream separation is
+//! integration-tested (`crates/sim/tests/obs_invariance.rs`).
 
-use iac_lan::sim::registry::{self, Quality};
-use iac_lan::sim::DEFAULT_SEED;
-use std::time::Instant;
-
-struct Args {
-    scenario: String,
-    replicates: Option<usize>,
-    threads: usize,
-    seed: u64,
-    quality: Quality,
-    json: bool,
-    list: bool,
-}
-
-fn usage() -> ! {
-    eprintln!(
-        "usage: sweep [--scenario <name>|all] [--replicates N] [--threads N] \
-         [--seed N] [--paper] [--json] [--list]\n\
-         \n\
-         --scenario    scenario id from the registry (default: all)\n\
-         --replicates  independent trials to reduce (default: per-scenario)\n\
-         --threads     worker threads; 0 = IAC_TEST_THREADS or all cores (default: 0)\n\
-         --seed        master seed, decimal or 0x-hex (default: {DEFAULT_SEED:#x})\n\
-         --paper       paper-quality trial sizing (default: quick)\n\
-         --json        print one compact JSON report per scenario\n\
-         --list        list registered scenarios and exit"
-    );
-    std::process::exit(2);
-}
-
-fn parse_seed(s: &str) -> Option<u64> {
-    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-        u64::from_str_radix(hex, 16).ok()
-    } else {
-        s.parse().ok()
-    }
-}
-
-fn parse_args() -> Args {
-    let mut out = Args {
-        scenario: "all".to_string(),
-        replicates: None,
-        threads: 0,
-        seed: DEFAULT_SEED,
-        quality: Quality::Quick,
-        json: false,
-        list: false,
-    };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--scenario" => out.scenario = args.next().unwrap_or_else(|| usage()),
-            "--replicates" => {
-                out.replicates = Some(
-                    args.next()
-                        .and_then(|s| s.parse().ok())
-                        .filter(|&n| n > 0)
-                        .unwrap_or_else(|| usage()),
-                )
-            }
-            "--threads" => {
-                out.threads = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage())
-            }
-            "--seed" => {
-                out.seed = args
-                    .next()
-                    .as_deref()
-                    .and_then(parse_seed)
-                    .unwrap_or_else(|| usage())
-            }
-            "--paper" => out.quality = Quality::Paper,
-            "--quick" => out.quality = Quality::Quick,
-            "--json" => out.json = true,
-            "--list" => out.list = true,
-            _ => usage(),
-        }
-    }
-    out
-}
+use iac_lan::sim::cli;
 
 fn main() {
-    let args = parse_args();
-    let scenarios = registry::all();
-
-    if args.list {
-        println!("{:<22} {:<5} description", "scenario", "reps");
-        for s in &scenarios {
-            println!("{:<22} {:<5} {}", s.name, s.default_replicates, s.about);
-        }
-        return;
-    }
-
-    let selected: Vec<_> = if args.scenario == "all" {
-        scenarios
-    } else {
-        match registry::find(&args.scenario) {
-            Some(s) => vec![s],
-            None => {
-                eprintln!(
-                    "unknown scenario '{}'; try --list for the registry",
-                    args.scenario
-                );
-                std::process::exit(2);
-            }
+    let args = match cli::parse_sweep_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
         }
     };
-
-    for spec in &selected {
-        let replicates = args.replicates.unwrap_or(spec.default_replicates);
-        let started = Instant::now();
-        let report =
-            registry::run_scenario(spec, args.quality, args.seed, replicates, args.threads);
-        // Timing is execution-dependent — stderr only, so stdout stays
-        // bit-identical across thread counts.
-        eprintln!(
-            "[{}] {} replicates in {:.2?}",
-            spec.name,
-            replicates,
-            started.elapsed()
-        );
-        if args.json {
-            println!("{}", report.to_json());
-        } else {
-            println!("{report}");
+    let mut stdout = std::io::stdout().lock();
+    let mut stderr = std::io::stderr().lock();
+    match cli::run_sweep(&args, &mut stdout, &mut stderr) {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(2),
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            std::process::exit(1);
         }
     }
 }

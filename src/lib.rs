@@ -21,6 +21,9 @@
 //!   policies, and the extended-PCF protocol simulation.
 //! * [`des`] — the deterministic discrete-event engine: simulated time,
 //!   stochastic traffic sources, and the event-driven extended-PCF MAC.
+//! * [`obs`] — zero-overhead telemetry: atomic metric registry, scoped span
+//!   profiling, Chrome-trace export; compiles out entirely without its
+//!   `enabled` feature (see `docs/OBSERVABILITY.md`).
 //! * [`sim`] — the testbed, the per-figure experiment scenarios, the
 //!   time-domain (latency/churn/offered-load) scenarios, and the
 //!   deterministic parallel experiment engine with its unified scenario
@@ -57,6 +60,7 @@ pub use iac_core as core;
 pub use iac_des as des;
 pub use iac_linalg as linalg;
 pub use iac_mac as mac;
+pub use iac_obs as obs;
 pub use iac_phy as phy;
 pub use iac_sim as sim;
 
