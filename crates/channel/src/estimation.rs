@@ -52,6 +52,74 @@ impl EstimationConfig {
     }
 }
 
+/// An impairment of the CSI feedback loop (§8 caveats, and the aging
+/// regime of El Ayach et al.): the leader's channel knowledge is late,
+/// coarse, and decorrelating.
+///
+/// [`CsiImpairment::degrade`] folds all three effects into an *effective*
+/// [`EstimationConfig`] by inflating the per-entry error variance — the
+/// matrix-level experiments then draw estimation error from the inflated
+/// model and every downstream consumer (alignment, zero-forcing, SINR)
+/// sees impaired CSI without code changes:
+///
+/// * **Quantization** — a `B`-bit scalar quantizer per real dimension adds
+///   error power `2^(−2B)` relative to entry power.
+/// * **Aging** — Clarke-model decorrelation: after `delay_slots` slots of
+///   feedback delay at normalized Doppler `doppler` (`f_d·T_slot`), the
+///   correlation is `ρ = J₀(2π·f_d·T_slot·delay)`, leaving innovation
+///   power `1 − ρ²` (approximated by its small-argument expansion, which
+///   is monotone and saturates at 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CsiImpairment {
+    /// Slots between channel measurement and use (feedback + scheduling
+    /// delay). 0 = fresh CSI.
+    pub feedback_delay_slots: u16,
+    /// Bits per real dimension of the quantized feedback. `None` =
+    /// unquantized (analog or high-rate feedback).
+    pub quant_bits: Option<u8>,
+    /// Normalized Doppler `f_d·T_slot` — channel decorrelation per slot.
+    pub doppler: f64,
+}
+
+impl CsiImpairment {
+    /// No impairment: `degrade` returns the config unchanged.
+    pub fn none() -> Self {
+        Self {
+            feedback_delay_slots: 0,
+            quant_bits: None,
+            doppler: 0.0,
+        }
+    }
+
+    /// Extra per-entry error variance this impairment adds (relative to
+    /// unit channel-entry power).
+    pub fn extra_error_variance(&self) -> f64 {
+        let quant = match self.quant_bits {
+            Some(b) => (2.0f64).powi(-2 * i32::from(b)),
+            None => 0.0,
+        };
+        // 1 − J₀(x)² ≈ x²/2 for small x, clamped at full decorrelation.
+        let x = std::f64::consts::TAU * self.doppler * f64::from(self.feedback_delay_slots);
+        let aging = (x * x / 2.0).min(1.0);
+        quant + aging
+    }
+
+    /// The effective estimation model under this impairment: the base
+    /// config's error variance plus quantization and aging terms, expressed
+    /// as an equivalent (lower) estimation SNR over one snapshot.
+    pub fn degrade(&self, base: &EstimationConfig) -> EstimationConfig {
+        let extra = self.extra_error_variance();
+        if extra == 0.0 {
+            return *base;
+        }
+        let var = base.error_variance() + extra;
+        EstimationConfig {
+            estimation_snr_db: -10.0 * var.log10(),
+            training_len: 1,
+        }
+    }
+}
+
 /// Apply the estimation-error model: `Ĥ = H + E`, `E ~ CN(0, σ²·p̄)` i.i.d.
 /// per entry, where `p̄` is the average entry power of `H` (so error scales
 /// with the link gain, as it does physically).
@@ -216,5 +284,76 @@ mod tests {
         let sent = CMat::zeros(2, 1);
         let received = CMat::zeros(2, 1);
         assert!(ls_estimate(&sent, &received).is_err());
+    }
+
+    #[test]
+    fn no_impairment_is_identity() {
+        let base = EstimationConfig::paper_default();
+        let out = CsiImpairment::none().degrade(&base);
+        assert_eq!(out.error_variance(), base.error_variance());
+        let perfect = CsiImpairment::none().degrade(&EstimationConfig::perfect());
+        assert_eq!(perfect.error_variance(), 0.0);
+    }
+
+    #[test]
+    fn impairment_terms_escalate_monotonically() {
+        let base = EstimationConfig::paper_default();
+        // Coarser quantization → more error.
+        let coarse = CsiImpairment {
+            quant_bits: Some(2),
+            ..CsiImpairment::none()
+        };
+        let fine = CsiImpairment {
+            quant_bits: Some(6),
+            ..CsiImpairment::none()
+        };
+        assert!(
+            coarse.degrade(&base).error_variance() > fine.degrade(&base).error_variance()
+        );
+        // Quantization error power is 2^(−2B).
+        assert!((fine.extra_error_variance() - (2.0f64).powi(-12)).abs() < 1e-15);
+        // Older CSI at a fixed Doppler → more error, saturating at full
+        // decorrelation.
+        let mut last = 0.0;
+        for delay in [0u16, 4, 16, 64] {
+            let imp = CsiImpairment {
+                feedback_delay_slots: delay,
+                doppler: 0.01,
+                quant_bits: None,
+            };
+            let v = imp.extra_error_variance();
+            assert!(v >= last, "aging error not monotone at delay {delay}");
+            assert!(v <= 1.0);
+            last = v;
+        }
+        assert!(last > 0.5, "64-slot-old CSI at fd·T=0.01 should be mostly noise");
+    }
+
+    #[test]
+    fn degraded_config_feeds_the_error_model() {
+        // The degraded config plugs straight into estimate_with_error and
+        // yields the inflated error power empirically.
+        let base = EstimationConfig::perfect();
+        let imp = CsiImpairment {
+            feedback_delay_slots: 8,
+            quant_bits: Some(4),
+            doppler: 0.005,
+        };
+        let cfg = imp.degrade(&base);
+        let expected = imp.extra_error_variance();
+        assert!((cfg.error_variance() / expected - 1.0).abs() < 1e-12);
+        let mut rng = Rng64::new(6);
+        let trials = 20_000;
+        let mut err_power = 0.0;
+        for _ in 0..trials {
+            let h = CMat::random(2, 2, &mut rng);
+            let est = estimate_with_error(&h, &cfg, &mut rng);
+            err_power += (&est - &h).frobenius_norm().powi(2) / 4.0;
+        }
+        let measured = err_power / trials as f64;
+        assert!(
+            (measured / expected - 1.0).abs() < 0.1,
+            "measured {measured}, expected {expected}"
+        );
     }
 }

@@ -34,7 +34,7 @@ pub mod reciprocity;
 pub mod time;
 pub mod topology;
 
-pub use estimation::{estimate_with_error, ls_estimate, EstimationConfig};
+pub use estimation::{estimate_with_error, ls_estimate, CsiImpairment, EstimationConfig};
 pub use fading::{rayleigh, ricean, well_conditioned_rayleigh};
 pub use noise::Awgn;
 pub use offset::Cfo;

@@ -47,6 +47,10 @@
 //!   (with `Join`/`Leave` churn), and the wired sinks.
 //! * [`pcf`] — [`EventPcf`], the event-driven extended-PCF leader driving
 //!   the pluggable [`iac_mac::PhyOutcome`] PHY.
+//! * [`fault`] — deterministic fault injection: seeded AP-churn, backhaul
+//!   partition, and CSI-aging schedules delivered by a [`FaultInjector`]
+//!   as ordinary [`NetEvent`]s, so faulty runs record/replay/diff exactly
+//!   like clean ones.
 //! * [`metrics`] — raw per-packet/queue-depth records ([`SharedMetrics`]);
 //!   statistics live in `iac-sim::metrics`.
 //!
@@ -74,6 +78,7 @@
 
 pub mod count;
 pub mod event;
+pub mod fault;
 pub mod log;
 pub mod metrics;
 pub mod net;
@@ -85,6 +90,9 @@ pub mod traffic;
 
 pub use count::{EventKindCounter, SharedKindCounts};
 pub use event::{ComponentId, Event, EventId};
+pub use fault::{
+    ap_churn_schedule, csi_aging_ramp, partition_windows, FaultAt, FaultInjector, FaultKind,
+};
 pub use log::{Divergence, EventCodec, EventLog, EventRecorder, Replayer};
 pub use metrics::{MetricsLog, PacketRecord, QueueDepthSample, SharedMetrics};
 pub use net::{NetEvent, TrafficSource, WiredSink};

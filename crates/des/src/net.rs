@@ -55,6 +55,38 @@ pub enum NetEvent {
         /// Its sequence number.
         seq: u16,
     },
+    /// Fault injection: an AP crashes (stops decoding, transmitting, and
+    /// forwarding until it recovers).
+    ApDown {
+        /// The crashed AP.
+        ap: u16,
+    },
+    /// Fault injection: a crashed AP recovers.
+    ApUp {
+        /// The recovered AP.
+        ap: u16,
+    },
+    /// Fault injection: the inter-AP backhaul partitions — no wire
+    /// forwarding (and therefore no joint IAC decoding) until it heals.
+    BackhaulDown,
+    /// Fault injection: the backhaul partition heals.
+    BackhaulUp,
+    /// Fault injection: reconfigure the wire impairment (applies until the
+    /// next `WireImpair`; zeros restore the clean wire).
+    WireImpair {
+        /// Per-attempt loss probability in parts per million.
+        loss_ppm: u32,
+        /// Per-delivery corruption probability in parts per million.
+        corrupt_ppm: u32,
+    },
+    /// Fault injection: channel-state feedback has aged by `slots` slots
+    /// (zero restores fresh CSI).
+    CsiStale {
+        /// Current staleness in slots.
+        slots: u16,
+    },
+    /// Fault-injector self-event: the next scheduled fault is due.
+    FaultTick,
 }
 
 // Payload variant tags for the event-log codec (stable wire contract; new
@@ -67,6 +99,13 @@ const NE_CFP_START: u8 = 4;
 const NE_BEACON_DONE: u8 = 5;
 const NE_GROUP_DONE: u8 = 6;
 const NE_WIRE_DELIVER: u8 = 7;
+const NE_AP_DOWN: u8 = 8;
+const NE_AP_UP: u8 = 9;
+const NE_BACKHAUL_DOWN: u8 = 10;
+const NE_BACKHAUL_UP: u8 = 11;
+const NE_WIRE_IMPAIR: u8 = 12;
+const NE_CSI_STALE: u8 = 13;
+const NE_FAULT_TICK: u8 = 14;
 
 fn put_bool(buf: &mut BytesMut, v: bool) {
     buf.put_u8(v as u8);
@@ -139,6 +178,29 @@ impl EventCodec for NetEvent {
                 buf.put_u16(*client);
                 buf.put_u16(*seq);
             }
+            NetEvent::ApDown { ap } => {
+                buf.put_u8(NE_AP_DOWN);
+                buf.put_u16(*ap);
+            }
+            NetEvent::ApUp { ap } => {
+                buf.put_u8(NE_AP_UP);
+                buf.put_u16(*ap);
+            }
+            NetEvent::BackhaulDown => buf.put_u8(NE_BACKHAUL_DOWN),
+            NetEvent::BackhaulUp => buf.put_u8(NE_BACKHAUL_UP),
+            NetEvent::WireImpair {
+                loss_ppm,
+                corrupt_ppm,
+            } => {
+                buf.put_u8(NE_WIRE_IMPAIR);
+                buf.put_u32(*loss_ppm);
+                buf.put_u32(*corrupt_ppm);
+            }
+            NetEvent::CsiStale { slots } => {
+                buf.put_u8(NE_CSI_STALE);
+                buf.put_u16(*slots);
+            }
+            NetEvent::FaultTick => buf.put_u8(NE_FAULT_TICK),
         }
     }
 
@@ -192,6 +254,22 @@ impl EventCodec for NetEvent {
                 client: codec::get_u16(b, "WireDeliver.client")?,
                 seq: codec::get_u16(b, "WireDeliver.seq")?,
             }),
+            NE_AP_DOWN => Ok(NetEvent::ApDown {
+                ap: codec::get_u16(b, "ApDown.ap")?,
+            }),
+            NE_AP_UP => Ok(NetEvent::ApUp {
+                ap: codec::get_u16(b, "ApUp.ap")?,
+            }),
+            NE_BACKHAUL_DOWN => Ok(NetEvent::BackhaulDown),
+            NE_BACKHAUL_UP => Ok(NetEvent::BackhaulUp),
+            NE_WIRE_IMPAIR => Ok(NetEvent::WireImpair {
+                loss_ppm: codec::get_u32(b, "WireImpair.loss_ppm")?,
+                corrupt_ppm: codec::get_u32(b, "WireImpair.corrupt_ppm")?,
+            }),
+            NE_CSI_STALE => Ok(NetEvent::CsiStale {
+                slots: codec::get_u16(b, "CsiStale.slots")?,
+            }),
+            NE_FAULT_TICK => Ok(NetEvent::FaultTick),
             tag => Err(CodecError::BadPayload(format!(
                 "unknown NetEvent tag {tag}"
             ))),
@@ -208,6 +286,13 @@ impl EventCodec for NetEvent {
             NetEvent::BeaconDone => "BeaconDone",
             NetEvent::GroupDone { .. } => "GroupDone",
             NetEvent::WireDeliver { .. } => "WireDeliver",
+            NetEvent::ApDown { .. } => "ApDown",
+            NetEvent::ApUp { .. } => "ApUp",
+            NetEvent::BackhaulDown => "BackhaulDown",
+            NetEvent::BackhaulUp => "BackhaulUp",
+            NetEvent::WireImpair { .. } => "WireImpair",
+            NetEvent::CsiStale { .. } => "CsiStale",
+            NetEvent::FaultTick => "FaultTick",
         }
     }
 }

@@ -34,7 +34,7 @@ use crate::net::NetEvent;
 use crate::simulation::{Ctx, EventHandler};
 use crate::time::SimTime;
 use iac_mac::airtime::Airtime;
-use iac_mac::ethernet::{Hub, WireModel, WirePacket};
+use iac_mac::ethernet::{Hub, RetryPolicy, WireModel, WireOutcome, WirePacket};
 use iac_mac::frames::{Beacon, CfEnd, DataPoll, Grant, MacFrame, PollEntry, VectorQ};
 use iac_mac::pcf::{form_group, GroupPlan, GroupScorer, PcfConfig, PhyOutcome};
 use iac_mac::queue::{QueuedPacket, TrafficQueue};
@@ -65,6 +65,15 @@ pub struct EventPcfConfig {
     pub immediate_uplink_ack: bool,
     /// No new CFP starts at or after this time; the run then drains.
     pub horizon: SimTime,
+    /// Bounded retry/backoff/deadline for wire forwards. Only consulted when
+    /// an attempt can fail (wire impairment or a backhaul partition, both
+    /// injected as fault events); on a clean wire the first attempt always
+    /// delivers and this is inert.
+    pub wire_retry: RetryPolicy,
+    /// CSI staleness (slots) beyond which the leader stops trusting its
+    /// alignment vectors and dissolves groups to the standalone-MIMO
+    /// fallback. `None` (the default) never falls back on staleness.
+    pub csi_fallback_age_slots: Option<u16>,
 }
 
 impl Default for EventPcfConfig {
@@ -77,8 +86,26 @@ impl Default for EventPcfConfig {
             queue_capacity: None,
             immediate_uplink_ack: false,
             horizon: SimTime::from_secs(1.0),
+            wire_retry: RetryPolicy::default(),
+            csi_fallback_age_slots: None,
         }
     }
+}
+
+/// The leader's live view of injected faults (all set/cleared by
+/// [`NetEvent`] fault events; default = the clean world).
+#[derive(Debug, Clone, Default)]
+struct FaultState {
+    /// APs currently crashed.
+    down_aps: std::collections::BTreeSet<u16>,
+    /// Whether the inter-AP backhaul is partitioned.
+    backhaul_down: bool,
+    /// Per-attempt wire loss probability, ppm.
+    wire_loss_ppm: u32,
+    /// Per-delivery wire corruption probability, ppm.
+    wire_corrupt_ppm: u32,
+    /// Current CSI staleness, slots.
+    csi_age_slots: u16,
 }
 
 /// Which protocol phase the leader is in (downlink groups before uplink
@@ -123,6 +150,7 @@ pub struct EventPcf<P: PhyOutcome> {
     phase: Phase,
     groups_this_phase: usize,
     cfp_id: u16,
+    fault: FaultState,
     metrics: SharedMetrics,
 }
 
@@ -161,8 +189,71 @@ impl<P: PhyOutcome> EventPcf<P> {
             phase: Phase::Idle,
             groups_this_phase: 0,
             cfp_id: 0,
+            fault: FaultState::default(),
             metrics,
         }
+    }
+
+    /// The group shape the scheduler can currently sustain, and whether that
+    /// is a degradation of the configured shape.
+    ///
+    /// * Backhaul partitioned, or CSI older than the configured trust
+    ///   threshold → joint decoding is off the table: groups dissolve to
+    ///   one client spatially multiplexing ≥ 2 streams to its best AP
+    ///   (standalone 802.11-MIMO).
+    /// * `k` APs crashed → the group shrinks to the live-AP count (IAC
+    ///   aligns one stream per decoding AP), dissolving entirely when at
+    ///   most one AP is left.
+    /// * No faults → the configured shape, untouched.
+    fn effective_shape(&self) -> (usize, usize, bool) {
+        let base = (self.cfg.protocol.group_size, self.cfg.streams_per_client);
+        let stale = self
+            .cfg
+            .csi_fallback_age_slots
+            .is_some_and(|limit| self.fault.csi_age_slots > limit);
+        if self.fault.backhaul_down || stale {
+            let shape = (1, base.1.max(2));
+            return (shape.0, shape.1, shape != base);
+        }
+        let n_aps = self.cfg.protocol.n_aps;
+        let down = self.fault.down_aps.iter().filter(|&&a| a < n_aps).count();
+        if down > 0 {
+            let live = (n_aps as usize).saturating_sub(down);
+            if live <= 1 {
+                let shape = (1, base.1.max(2));
+                return (shape.0, shape.1, shape != base);
+            }
+            let g = base.0.min(live);
+            return (g, base.1, g < base.0);
+        }
+        (base.0, base.1, false)
+    }
+
+    /// Apply one fault event to the live fault state.
+    fn on_fault(&mut self, event: &NetEvent) {
+        match *event {
+            NetEvent::ApDown { ap } => {
+                self.fault.down_aps.insert(ap);
+            }
+            NetEvent::ApUp { ap } => {
+                self.fault.down_aps.remove(&ap);
+            }
+            NetEvent::BackhaulDown => self.fault.backhaul_down = true,
+            NetEvent::BackhaulUp => self.fault.backhaul_down = false,
+            NetEvent::WireImpair {
+                loss_ppm,
+                corrupt_ppm,
+            } => {
+                self.fault.wire_loss_ppm = loss_ppm;
+                self.fault.wire_corrupt_ppm = corrupt_ppm;
+            }
+            NetEvent::CsiStale { slots } => {
+                self.fault.csi_age_slots = slots;
+                self.phy.csi_aged(slots);
+            }
+            _ => unreachable!("on_fault handed a non-fault event"),
+        }
+        self.metrics.with(|log| log.faults += 1);
     }
 
     /// Placeholder vectors for control-frame sizing (the alignment solver
@@ -273,6 +364,7 @@ impl<P: PhyOutcome> EventPcf<P> {
                 Phase::Idle => return,
             };
             if self.groups_this_phase < self.cfg.protocol.max_groups_per_cfp {
+                let (group_size, streams, degraded) = self.effective_shape();
                 let is_down = !uplink;
                 let scorer = &mut self.scorer;
                 let mut score = |g: &[u16]| (scorer)(g, is_down);
@@ -286,15 +378,11 @@ impl<P: PhyOutcome> EventPcf<P> {
                 } else {
                     &mut self.downlink_queue
                 };
-                let plan = form_group(
-                    queue,
-                    policy,
-                    &mut score,
-                    self.cfg.protocol.group_size,
-                    self.cfg.streams_per_client,
-                    ctx.rng(),
-                );
+                let plan = form_group(queue, policy, &mut score, group_size, streams, ctx.rng());
                 if let Some(plan) = plan {
+                    if degraded {
+                        self.metrics.with(|log| log.degraded_groups += 1);
+                    }
                     self.start_group(plan, uplink, ctx);
                     return;
                 }
@@ -394,11 +482,18 @@ impl<P: PhyOutcome> EventPcf<P> {
         // to a client-id scan (and treat a missing result as a loss) so a
         // degenerate PHY cannot make packets vanish.
         for (i, &packet) in plan.packets.iter().enumerate() {
-            let result = results
+            let mut result = results
                 .get(i)
                 .filter(|r| r.client == packet.client)
                 .or_else(|| results.iter().find(|r| r.client == packet.client))
                 .copied();
+            // A crashed AP answers no poll: the leader observes a timeout
+            // and voids the result, so the packet follows the ordinary
+            // loss/retransmission path instead of vanishing.
+            if result.is_some_and(|r| self.fault.down_aps.contains(&r.ap)) {
+                self.metrics.with(|log| log.poll_timeouts += 1);
+                result = None;
+            }
             let ok = result.as_ref().is_some_and(|r| r.ok);
             if uplink && self.cfg.immediate_uplink_ack {
                 // Plain 802.11 PCF: the AP's synchronous CF-ACK closes the
@@ -422,7 +517,10 @@ impl<P: PhyOutcome> EventPcf<P> {
                 if let Some(r) = result.filter(|r| r.ok) {
                     // Decoded at AP r.ap: forwarded exactly once over the
                     // hub (cancellation at later APs + the wired
-                    // destination), acked in the NEXT beacon.
+                    // destination), acked in the NEXT beacon. On a clean
+                    // wire the retrying broadcast is attempt-for-attempt
+                    // identical to the plain one; losses draw from the
+                    // simulation RNG and back off per the configured policy.
                     let wire = WirePacket {
                         from_ap: r.ap,
                         client: packet.client,
@@ -432,26 +530,74 @@ impl<P: PhyOutcome> EventPcf<P> {
                     };
                     let wire_bytes = wire.wire_bytes() as u64;
                     let from_ap = r.ap;
-                    let deliver_us = self.hub.broadcast_unbuffered_at(&wire, now_us);
-                    self.metrics.with(|log| {
-                        log.wire_packets += 1;
-                        log.wire_bytes += wire_bytes;
-                    });
-                    let delay = SimTime::from_micros((deliver_us - now_us).max(0.0));
-                    for (ap, &sink) in self.sinks.iter().enumerate() {
-                        if ap != from_ap as usize {
-                            ctx.emit(
-                                sink,
-                                delay,
-                                NetEvent::WireDeliver {
-                                    from_ap,
-                                    client: packet.client,
-                                    seq: packet.seq,
-                                },
-                            );
+                    if self.fault.backhaul_down {
+                        // Partitioned backhaul: the forward cannot cross.
+                        // The packet stays unacked; beacon silence sends it
+                        // back through the retransmission budget.
+                        self.metrics.with(|log| log.wire_expired += 1);
+                    } else {
+                        let loss_ppm = self.fault.wire_loss_ppm;
+                        let outcome = {
+                            let rng = ctx.rng();
+                            self.hub.broadcast_with_retry_at(
+                                &wire,
+                                now_us,
+                                &self.cfg.wire_retry,
+                                |_| loss_ppm > 0 && rng.next_f64() * 1e6 < loss_ppm as f64,
+                            )
+                        };
+                        match outcome {
+                            WireOutcome::Delivered {
+                                deliver_us,
+                                attempts,
+                            } => {
+                                if attempts > 1 {
+                                    self.metrics.with(|log| {
+                                        log.wire_lost += (attempts - 1) as u64;
+                                        log.wire_retries += (attempts - 1) as u64;
+                                    });
+                                }
+                                let corrupt_ppm = self.fault.wire_corrupt_ppm;
+                                let corrupted = corrupt_ppm > 0
+                                    && ctx.rng().next_f64() * 1e6 < corrupt_ppm as f64;
+                                if corrupted {
+                                    // FCS failure at the receiving ports:
+                                    // the delivery is discarded, nothing is
+                                    // forwarded or acked, and the client
+                                    // retransmits after beacon silence.
+                                    self.metrics.with(|log| log.wire_corrupt += 1);
+                                } else {
+                                    self.metrics.with(|log| {
+                                        log.wire_packets += 1;
+                                        log.wire_bytes += wire_bytes;
+                                    });
+                                    let delay =
+                                        SimTime::from_micros((deliver_us - now_us).max(0.0));
+                                    for (ap, &sink) in self.sinks.iter().enumerate() {
+                                        if ap != from_ap as usize {
+                                            ctx.emit(
+                                                sink,
+                                                delay,
+                                                NetEvent::WireDeliver {
+                                                    from_ap,
+                                                    client: packet.client,
+                                                    seq: packet.seq,
+                                                },
+                                            );
+                                        }
+                                    }
+                                    self.pending_acks.push((packet.client, packet.seq));
+                                }
+                            }
+                            WireOutcome::Expired { attempts } => {
+                                self.metrics.with(|log| {
+                                    log.wire_lost += attempts as u64;
+                                    log.wire_retries += attempts.saturating_sub(1) as u64;
+                                    log.wire_expired += 1;
+                                });
+                            }
                         }
                     }
-                    self.pending_acks.push((packet.client, packet.seq));
                 }
                 // Ok or not, the client waits for the beacon to learn.
                 self.awaiting_ack.insert((packet.client, packet.seq), packet);
@@ -537,6 +683,12 @@ impl<P: PhyOutcome> EventHandler<NetEvent> for EventPcf<P> {
                 plan,
                 results,
             } => self.on_group_done(plan, uplink, results, ctx),
+            fault @ (NetEvent::ApDown { .. }
+            | NetEvent::ApUp { .. }
+            | NetEvent::BackhaulDown
+            | NetEvent::BackhaulUp
+            | NetEvent::WireImpair { .. }
+            | NetEvent::CsiStale { .. }) => self.on_fault(&fault),
             _ => {}
         }
     }
@@ -582,7 +734,7 @@ mod tests {
         phy: StubPhy,
         n_up: u16,
         rate_pps: f64,
-    ) -> (Simulation<NetEvent>, SharedMetrics) {
+    ) -> (Simulation<NetEvent>, SharedMetrics, crate::event::ComponentId) {
         let mut sim = Simulation::new(seed);
         let metrics = SharedMetrics::new();
         let n_aps = cfg.protocol.n_aps;
@@ -616,7 +768,7 @@ mod tests {
             sim.schedule(SimTime::ZERO, src, NetEvent::Join);
         }
         sim.schedule(SimTime::ZERO, mac, NetEvent::CfpStart);
-        (sim, metrics)
+        (sim, metrics, mac)
     }
 
     fn small_cfg(horizon_ms: f64) -> EventPcfConfig {
@@ -628,7 +780,7 @@ mod tests {
 
     #[test]
     fn uplink_packets_deliver_with_deferred_ack_latency() {
-        let (mut sim, metrics) = build(
+        let (mut sim, metrics, _mac) = build(
             1,
             small_cfg(60.0),
             StubPhy { fail_always: vec![] },
@@ -657,7 +809,7 @@ mod tests {
 
     #[test]
     fn always_failing_client_is_dropped_not_starved() {
-        let (mut sim, metrics) = build(
+        let (mut sim, metrics, _mac) = build(
             2,
             small_cfg(50.0),
             StubPhy {
@@ -764,7 +916,7 @@ mod tests {
             ..small_cfg(40.0)
         };
         // 3 clients at 20k pps ≫ service rate → the 8-slot queue must spill.
-        let (mut sim, metrics) = build(3, cfg, StubPhy { fail_always: vec![] }, 3, 20_000.0);
+        let (mut sim, metrics, _mac) = build(3, cfg, StubPhy { fail_always: vec![] }, 3, 20_000.0);
         sim.step_until_no_events();
         let log = metrics.snapshot();
         assert!(log.drops_overflow > 0, "no tail drops under overload");
@@ -775,7 +927,7 @@ mod tests {
     #[test]
     fn run_is_bit_reproducible_from_seed() {
         let run = |seed: u64| {
-            let (mut sim, metrics) = build(
+            let (mut sim, metrics, _mac) = build(
                 seed,
                 small_cfg(30.0),
                 StubPhy { fail_always: vec![] },
@@ -803,7 +955,7 @@ mod tests {
     fn idle_cfp_shrinks_and_run_terminates() {
         // No sources at all: beacons + CF-End cycle until the horizon, the
         // queue drains, and the event count stays small.
-        let (mut sim, metrics) = build(4, small_cfg(20.0), StubPhy { fail_always: vec![] }, 0, 1.0);
+        let (mut sim, metrics, _mac) = build(4, small_cfg(20.0), StubPhy { fail_always: vec![] }, 0, 1.0);
         let events = sim.step_until_no_events();
         let log = metrics.snapshot();
         assert!(log.cfps > 10, "MAC did not cycle: {} cfps", log.cfps);
@@ -858,5 +1010,135 @@ mod tests {
             "offered {} inconsistent with a 20ms leave gap",
             log.offered
         );
+    }
+
+    #[test]
+    fn ap_crash_voids_polls_and_shrinks_groups() {
+        let (mut sim, metrics, mac) = build(
+            11,
+            small_cfg(60.0),
+            StubPhy { fail_always: vec![] },
+            3,
+            400.0,
+        );
+        // The stub PHY decodes everything at AP 0; crash exactly that AP.
+        sim.schedule(SimTime::from_millis(10.0), mac, NetEvent::ApDown { ap: 0 });
+        sim.schedule(SimTime::from_millis(40.0), mac, NetEvent::ApUp { ap: 0 });
+        sim.step_until_no_events();
+        let log = metrics.snapshot();
+        assert_eq!(log.faults, 2);
+        assert!(log.poll_timeouts > 0, "down AP kept answering polls");
+        assert!(log.degraded_groups > 0, "outage never shrank a group");
+        assert!(
+            log.delivered.iter().any(|r| r.delivered_us > 40_000.0),
+            "service never resumed after recovery"
+        );
+    }
+
+    #[test]
+    fn backhaul_partition_expires_forwards_then_heals() {
+        let (mut sim, metrics, mac) = build(
+            12,
+            small_cfg(60.0),
+            StubPhy { fail_always: vec![] },
+            3,
+            400.0,
+        );
+        sim.schedule(SimTime::from_millis(5.0), mac, NetEvent::BackhaulDown);
+        sim.schedule(SimTime::from_millis(30.0), mac, NetEvent::BackhaulUp);
+        sim.step_until_no_events();
+        let log = metrics.snapshot();
+        assert!(log.wire_expired > 0, "partition never blocked a forward");
+        assert!(
+            log.degraded_groups > 0,
+            "partition never dissolved a group to standalone MIMO"
+        );
+        assert!(
+            log.delivered.iter().any(|r| r.delivered_us > 30_000.0),
+            "no deliveries after the partition healed"
+        );
+    }
+
+    #[test]
+    fn wire_loss_retries_and_still_delivers() {
+        let mut cfg = small_cfg(40.0);
+        cfg.wire_retry = RetryPolicy {
+            max_attempts: 6,
+            base_backoff_us: 5.0,
+            deadline_us: 10_000.0,
+        };
+        let (mut sim, metrics, mac) = build(13, cfg, StubPhy { fail_always: vec![] }, 3, 400.0);
+        sim.schedule(
+            SimTime::ZERO,
+            mac,
+            NetEvent::WireImpair {
+                loss_ppm: 300_000,
+                corrupt_ppm: 0,
+            },
+        );
+        sim.step_until_no_events();
+        let log = metrics.snapshot();
+        assert!(log.wire_lost > 0, "30% loss never lost an attempt");
+        assert!(log.wire_retries > 0, "losses never retried");
+        assert_eq!(log.wire_corrupt, 0);
+        assert!(
+            log.delivered_count(true) > log.offered / 2,
+            "bounded retry failed to carry the bulk of the load: {} of {}",
+            log.delivered_count(true),
+            log.offered
+        );
+    }
+
+    #[test]
+    fn csi_staleness_dissolves_groups_past_threshold() {
+        let mut cfg = small_cfg(40.0);
+        cfg.csi_fallback_age_slots = Some(8);
+        let (mut sim, metrics, mac) = build(14, cfg, StubPhy { fail_always: vec![] }, 3, 400.0);
+        // 4 slots is within tolerance; 16 crosses the threshold for the
+        // rest of the run.
+        sim.schedule(SimTime::from_millis(5.0), mac, NetEvent::CsiStale { slots: 4 });
+        sim.schedule(SimTime::from_millis(20.0), mac, NetEvent::CsiStale { slots: 16 });
+        sim.step_until_no_events();
+        let log = metrics.snapshot();
+        assert_eq!(log.faults, 2);
+        assert!(
+            log.degraded_groups > 0,
+            "stale CSI never dissolved a group"
+        );
+        assert!(
+            log.delivered.iter().any(|r| r.delivered_us > 20_000.0),
+            "fallback mode starved the clients"
+        );
+    }
+
+    #[test]
+    fn faulty_run_is_bit_reproducible_from_seed() {
+        let run = |seed: u64| {
+            let mut cfg = small_cfg(40.0);
+            cfg.csi_fallback_age_slots = Some(8);
+            let (mut sim, metrics, mac) =
+                build(seed, cfg, StubPhy { fail_always: vec![] }, 3, 500.0);
+            sim.schedule(SimTime::from_millis(4.0), mac, NetEvent::ApDown { ap: 0 });
+            sim.schedule(SimTime::from_millis(9.0), mac, NetEvent::ApUp { ap: 0 });
+            sim.schedule(SimTime::from_millis(12.0), mac, NetEvent::BackhaulDown);
+            sim.schedule(SimTime::from_millis(16.0), mac, NetEvent::BackhaulUp);
+            sim.schedule(
+                SimTime::from_millis(18.0),
+                mac,
+                NetEvent::WireImpair {
+                    loss_ppm: 200_000,
+                    corrupt_ppm: 50_000,
+                },
+            );
+            sim.schedule(SimTime::from_millis(25.0), mac, NetEvent::CsiStale { slots: 12 });
+            let events = sim.step_until_no_events();
+            (events, sim.time(), metrics.snapshot())
+        };
+        let (e1, t1, m1) = run(21);
+        let (e2, t2, m2) = run(21);
+        assert_eq!(e1, e2);
+        assert_eq!(t1, t2);
+        assert_eq!(m1, m2, "faulty runs diverged under one seed");
+        assert_eq!(m1.faults, 6);
     }
 }

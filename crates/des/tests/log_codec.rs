@@ -6,7 +6,7 @@
 use iac_des::log::codec::{
     self, CodecError, EventCodec, EventLog, EventRecord, MAGIC, VERSION,
 };
-use iac_des::SimTime;
+use iac_des::{NetEvent, SimTime};
 use proptest::prelude::*;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -153,6 +153,96 @@ proptest! {
                 | CodecError::UnsupportedVersion(_)
                 | CodecError::Truncated(_),
             ) => {}
+            Err(other) => prop_assert!(false, "unexpected error {:?}", other),
+        }
+    }
+}
+
+/// Every fault-event variant of the real protocol alphabet (wire tags
+/// 8–14, appended by the fault-injection layer under the codec's
+/// append-only tag contract).
+fn fault_event_strategy() -> impl Strategy<Value = NetEvent> {
+    prop_oneof![
+        any::<u16>().prop_map(|ap| NetEvent::ApDown { ap }),
+        any::<u16>().prop_map(|ap| NetEvent::ApUp { ap }),
+        Just(NetEvent::BackhaulDown),
+        Just(NetEvent::BackhaulUp),
+        (any::<u32>(), any::<u32>()).prop_map(|(loss_ppm, corrupt_ppm)| NetEvent::WireImpair {
+            loss_ppm,
+            corrupt_ppm,
+        }),
+        any::<u16>().prop_map(|slots| NetEvent::CsiStale { slots }),
+        Just(NetEvent::FaultTick),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fault_events_roundtrip_through_the_log(
+        events in collection::vec(fault_event_strategy(), 1..32),
+    ) {
+        let log = EventLog {
+            records: events
+                .iter()
+                .enumerate()
+                .map(|(k, e)| EventRecord {
+                    id: k as u64,
+                    time_bits: (k as f64 * 3.5).to_bits(),
+                    src: 0,
+                    dst: k as u32,
+                    payload: codec::encode_payload(e),
+                })
+                .collect(),
+        };
+        let back = EventLog::decode(&log.encode()).expect("fault log must decode");
+        prop_assert_eq!(&back, &log);
+        for (rec, original) in back.records.iter().zip(&events) {
+            let decoded: NetEvent = rec.decode_payload().expect("payload must decode");
+            prop_assert_eq!(&decoded, original);
+            prop_assert_eq!(decoded.kind(), original.kind());
+        }
+    }
+
+    #[test]
+    fn truncated_fault_payloads_are_typed_errors(event in fault_event_strategy()) {
+        let payload = codec::encode_payload(&event);
+        for cut in 0..payload.len() {
+            let rec = EventRecord {
+                id: 0,
+                time_bits: 0,
+                src: 0,
+                dst: 0,
+                payload: payload[..cut].to_vec(),
+            };
+            let err = rec
+                .decode_payload::<NetEvent>()
+                .expect_err("strict payload prefix must not decode");
+            prop_assert!(
+                matches!(err, CodecError::Truncated(_)),
+                "cut at {} gave {:?}", cut, err
+            );
+        }
+    }
+
+    #[test]
+    fn corrupting_a_fault_payload_never_panics(
+        event in fault_event_strategy(),
+        pos_seed in any::<usize>(),
+        val in any::<u8>(),
+    ) {
+        let mut payload = codec::encode_payload(&event);
+        let pos = pos_seed % payload.len();
+        payload[pos] = val;
+        // Any outcome is acceptable except a panic or an untyped failure:
+        // either some event decodes (tag still valid) or the decoder reports
+        // a typed error (unknown tag / trailing bytes via BadPayload, or
+        // truncation).
+        let rec = EventRecord { id: 0, time_bits: 0, src: 0, dst: 0, payload };
+        match rec.decode_payload::<NetEvent>() {
+            Ok(_) => {}
+            Err(CodecError::Truncated(_) | CodecError::BadPayload(_)) => {}
             Err(other) => prop_assert!(false, "unexpected error {:?}", other),
         }
     }

@@ -69,6 +69,54 @@ impl WireModel {
     }
 }
 
+/// Bounded-retry policy for wire forwards.
+///
+/// The original design "silently assumed the wire": a broadcast always
+/// succeeded. Under fault injection an attempt can be lost, so forwarding
+/// becomes try / exponential backoff / retry — bounded both by an attempt
+/// budget and by a delivery deadline measured from hand-off, after which
+/// the packet is abandoned (the MAC's retransmission machinery takes over).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum transmission attempts per packet (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before retry `k` (1-based) is `base_backoff_us · 2^(k−1)`.
+    pub base_backoff_us: f64,
+    /// A delivery completing later than `hand-off + deadline_us` is not
+    /// attempted; the packet expires.
+    pub deadline_us: f64,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts, 20 µs initial backoff, 5 ms deadline.
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff_us: 20.0,
+            deadline_us: 5_000.0,
+        }
+    }
+}
+
+/// Outcome of a wire forward under a [`RetryPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireOutcome {
+    /// The packet made it; `deliver_us` is the delivery timestamp at the
+    /// other ports and `attempts` counts transmissions (1 = first try).
+    Delivered {
+        /// Delivery timestamp, µs.
+        deliver_us: f64,
+        /// Transmission attempts used.
+        attempts: u32,
+    },
+    /// The packet was abandoned after `attempts` transmissions (attempt
+    /// budget or delivery deadline exhausted).
+    Expired {
+        /// Transmission attempts used before giving up.
+        attempts: u32,
+    },
+}
+
 /// Piggybacked control information on a forwarded packet (§7c).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Annotation {
@@ -133,6 +181,8 @@ pub struct Hub {
     busy_until_us: f64,
     bytes_broadcast: u64,
     packets_broadcast: u64,
+    retries: u64,
+    expired: u64,
 }
 
 impl Hub {
@@ -151,6 +201,8 @@ impl Hub {
             busy_until_us: 0.0,
             bytes_broadcast: 0,
             packets_broadcast: 0,
+            retries: 0,
+            expired: 0,
         }
     }
 
@@ -201,6 +253,67 @@ impl Hub {
         deliver
     }
 
+    /// [`Hub::broadcast_unbuffered_at`] under a [`RetryPolicy`] and a
+    /// caller-supplied loss oracle: `attempt_lost(k)` says whether
+    /// transmission attempt `k` (1-based) is lost in flight, so the caller
+    /// keeps ownership of all randomness (the discrete-event simulator draws
+    /// from its one seeded stream; the hub stays deterministic plumbing).
+    ///
+    /// Every attempt — delivered or lost — occupies the wire and is counted
+    /// in [`Hub::packets_broadcast`] / [`Hub::bytes_broadcast`]; lost
+    /// attempts back off exponentially before the retry. A first attempt is
+    /// always transmitted (so with a never-lost oracle this is timing- and
+    /// counter-identical to [`Hub::broadcast_unbuffered_at`]); a *retry*
+    /// whose delivery would land past `hand-off + deadline_us`, or that
+    /// would exceed `max_attempts`, is not transmitted and the packet
+    /// expires.
+    pub fn broadcast_with_retry_at(
+        &mut self,
+        packet: &WirePacket,
+        now_us: f64,
+        policy: &RetryPolicy,
+        mut attempt_lost: impl FnMut(u32) -> bool,
+    ) -> WireOutcome {
+        assert!(policy.max_attempts >= 1, "retry policy needs one attempt");
+        assert!(
+            (packet.from_ap as usize) < self.inboxes.len(),
+            "unknown source AP {}",
+            packet.from_ap
+        );
+        let deadline = now_us + policy.deadline_us;
+        let mut hand_off = now_us;
+        let mut attempts = 0u32;
+        loop {
+            let start = hand_off.max(self.busy_until_us);
+            let end = start + self.model.serialization_us(packet.wire_bytes());
+            let deliver = end + self.model.latency_us;
+            if attempts > 0 && deliver > deadline {
+                self.expired += 1;
+                return WireOutcome::Expired { attempts };
+            }
+            self.busy_until_us = end;
+            self.bytes_broadcast += packet.wire_bytes() as u64;
+            self.packets_broadcast += 1;
+            attempts += 1;
+            if attempts > 1 {
+                self.retries += 1;
+            }
+            if !attempt_lost(attempts) {
+                return WireOutcome::Delivered {
+                    deliver_us: deliver,
+                    attempts,
+                };
+            }
+            if attempts >= policy.max_attempts {
+                self.expired += 1;
+                return WireOutcome::Expired { attempts };
+            }
+            // Exponential backoff: 1×, 2×, 4×, ... the base, from the end of
+            // the failed attempt.
+            hand_off = end + policy.base_backoff_us * (1u64 << (attempts - 1)) as f64;
+        }
+    }
+
     /// Drain one AP's inbox regardless of delivery time (the pre-latency
     /// behaviour: "enough time has passed").
     pub fn drain(&mut self, ap: u16) -> Vec<WirePacket> {
@@ -241,6 +354,17 @@ impl Hub {
     /// Total packets that crossed the wire.
     pub fn packets_broadcast(&self) -> u64 {
         self.packets_broadcast
+    }
+
+    /// Retry attempts beyond each packet's first (bounded-backoff path).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Packets abandoned by the bounded-retry path (attempt budget or
+    /// delivery deadline exhausted).
+    pub fn expired(&self) -> u64 {
+        self.expired
     }
 
     /// Number of ports.
@@ -377,6 +501,93 @@ mod tests {
         // The wire is still occupied: the next packet queues behind it.
         let d2 = hub.broadcast_unbuffered_at(&pkt(1, 2), 0.0);
         assert!(d2 > d);
+    }
+
+    #[test]
+    fn lossless_retry_path_matches_plain_broadcast() {
+        let mut plain = Hub::with_model(3, WireModel::fast_ethernet());
+        let mut retry = Hub::with_model(3, WireModel::fast_ethernet());
+        for k in 0..4u16 {
+            let d_plain = plain.broadcast_unbuffered_at(&pkt(k % 3, k), k as f64 * 10.0);
+            let got = retry.broadcast_with_retry_at(
+                &pkt(k % 3, k),
+                k as f64 * 10.0,
+                &RetryPolicy::default(),
+                |_| false,
+            );
+            assert_eq!(
+                got,
+                WireOutcome::Delivered {
+                    deliver_us: d_plain,
+                    attempts: 1
+                }
+            );
+        }
+        assert_eq!(retry.packets_broadcast(), plain.packets_broadcast());
+        assert_eq!(retry.bytes_broadcast(), plain.bytes_broadcast());
+        assert_eq!(retry.retries(), 0);
+        assert_eq!(retry.expired(), 0);
+    }
+
+    #[test]
+    fn lost_attempts_back_off_exponentially_then_deliver() {
+        let mut hub = Hub::with_model(2, WireModel::gigabit());
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_backoff_us: 100.0,
+            deadline_us: 10_000.0,
+        };
+        // First two attempts lost, third delivers.
+        let mut losses = [true, true, false].into_iter();
+        let got = hub.broadcast_with_retry_at(&pkt(0, 1), 0.0, &policy, |_| losses.next().unwrap());
+        let ser = WireModel::gigabit().serialization_us(1506);
+        // Attempt 1 ends at ser; retry 1 starts ser+100, ends 2·ser+100;
+        // retry 2 starts 2·ser+100+200, delivers +ser+latency.
+        let expect = 3.0 * ser + 300.0 + 5.0;
+        match got {
+            WireOutcome::Delivered {
+                deliver_us,
+                attempts,
+            } => {
+                assert_eq!(attempts, 3);
+                assert!((deliver_us - expect).abs() < 1e-9, "got {deliver_us}, want {expect}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(hub.retries(), 2);
+        assert_eq!(hub.packets_broadcast(), 3, "every attempt crossed the wire");
+    }
+
+    #[test]
+    fn attempt_budget_bounds_retries() {
+        let mut hub = Hub::with_model(2, WireModel::gigabit());
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff_us: 10.0,
+            deadline_us: 1e9,
+        };
+        let got = hub.broadcast_with_retry_at(&pkt(0, 1), 0.0, &policy, |_| true);
+        assert_eq!(got, WireOutcome::Expired { attempts: 3 });
+        assert_eq!(hub.expired(), 1);
+        assert_eq!(hub.retries(), 2);
+    }
+
+    #[test]
+    fn delivery_deadline_expires_late_retries() {
+        let mut hub = Hub::with_model(2, WireModel::fast_ethernet());
+        // Serialization alone is ~120 µs; a 150 µs deadline admits the first
+        // attempt but no retry.
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_backoff_us: 1.0,
+            deadline_us: 150.0,
+        };
+        let got = hub.broadcast_with_retry_at(&pkt(0, 1), 0.0, &policy, |_| true);
+        assert_eq!(got, WireOutcome::Expired { attempts: 1 });
+        assert_eq!(hub.expired(), 1);
+        // The first attempt is always transmitted, even under a deadline the
+        // wire cannot meet — only retries are refused.
+        assert_eq!(hub.packets_broadcast(), 1);
     }
 
     #[test]

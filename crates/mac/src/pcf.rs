@@ -51,6 +51,11 @@ pub trait PhyOutcome {
     /// packets than clients if a client uploads two — it reports one result
     /// per *packet*).
     fn uplink_group(&mut self, clients: &[u16], rng: &mut Rng64) -> Vec<PacketResult>;
+    /// Fault-injection hook: the channel-state feedback the PHY decodes with
+    /// has aged to `slots` slots (0 = fresh). PHYs that model CSI aging
+    /// override this; the default ignores it, so scripted test PHYs and the
+    /// slot-level plane are unaffected.
+    fn csi_aged(&mut self, _slots: u16) {}
 }
 
 /// Static protocol parameters.
@@ -105,6 +110,8 @@ pub struct PcfStats {
     pub retx: u64,
     /// Poll rounds issued (DATA+Poll and Grant frames, one per group).
     pub polls: u64,
+    /// Packets tail-dropped by a bounded queue at offer time.
+    pub drops_overflow: u64,
 }
 
 /// One CFP's report.
@@ -254,23 +261,33 @@ impl<P: PhyOutcome> PcfSim<P> {
     }
 
     /// Offer downlink traffic (the wired network delivered a packet for a
-    /// client).
-    pub fn offer_downlink(&mut self, client: u16, seq: u16) {
-        self.downlink_queue.push(QueuedPacket {
+    /// client). Returns whether the queue accepted it; a tail-drop at a
+    /// bounded queue is counted in [`PcfStats::drops_overflow`].
+    pub fn offer_downlink(&mut self, client: u16, seq: u16) -> bool {
+        let accepted = self.downlink_queue.push(QueuedPacket {
             client,
             seq,
             bytes: self.config.payload_bytes,
         });
+        if !accepted {
+            self.stats.drops_overflow += 1;
+        }
+        accepted
     }
 
     /// Offer uplink traffic (a client signalled `more_traffic` in Data+Req,
-    /// or requested during the contention period).
-    pub fn offer_uplink(&mut self, client: u16, seq: u16) {
-        self.uplink_queue.push(QueuedPacket {
+    /// or requested during the contention period). Returns whether the queue
+    /// accepted it; tail-drops are counted in [`PcfStats::drops_overflow`].
+    pub fn offer_uplink(&mut self, client: u16, seq: u16) -> bool {
+        let accepted = self.uplink_queue.push(QueuedPacket {
             client,
             seq,
             bytes: self.config.payload_bytes,
         });
+        if !accepted {
+            self.stats.drops_overflow += 1;
+        }
+        accepted
     }
 
     /// Access the backplane statistics.
@@ -608,6 +625,21 @@ mod tests {
         assert_eq!(s.stats.dropped, 1);
         assert_eq!(s.stats.downlink_delivered, 0);
         assert!(s.downlink_queue.is_empty());
+    }
+
+    #[test]
+    fn offered_overflow_is_counted_not_ignored() {
+        let mut s = sim(StubPhy::all_ok());
+        s.downlink_queue = TrafficQueue::with_capacity(2);
+        s.uplink_queue = TrafficQueue::with_capacity(1);
+        for c in 0..4u16 {
+            let accepted = s.offer_downlink(c, c);
+            assert_eq!(accepted, c < 2, "bounded queue accepted packet {c}");
+        }
+        assert!(s.offer_uplink(0, 9));
+        assert!(!s.offer_uplink(1, 9));
+        assert_eq!(s.stats.drops_overflow, 3);
+        assert_eq!(s.downlink_queue.dropped() + s.uplink_queue.dropped(), 3);
     }
 
     #[test]

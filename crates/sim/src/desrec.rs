@@ -18,12 +18,20 @@
 
 use crate::netsim::{self, CalibratedPhy, NetSim, NetSimOutcome};
 use crate::registry::{Quality, TrialOutput};
-use crate::scenarios::{des_campus, des_load};
+use crate::scenarios::{des_campus, des_load, robustness};
 use iac_des::{Divergence, EventLog};
 
 /// The registered scenarios that support record/replay (every DES scenario
-/// in the registry).
-pub const DES_SCENARIOS: &[&str] = &["des_campus", "des_load"];
+/// in the registry, including the fault-injecting `rob_*` family — faults
+/// are ordinary logged events, so a faulty run records and replays exactly
+/// like a clean one).
+pub const DES_SCENARIOS: &[&str] = &[
+    "des_campus",
+    "des_load",
+    "rob_ap_churn",
+    "rob_backhaul_partition",
+    "rob_csi_aging",
+];
 
 /// One constituent simulation run of a DES trial.
 pub struct DesRun {
@@ -52,8 +60,36 @@ pub fn load_config(quality: Quality, trial_seed: u64) -> des_load::LoadSweepConf
     }
 }
 
+/// The AP-churn config for a quality/seed pair (the registry's sizing
+/// rule).
+pub fn churn_config(quality: Quality, trial_seed: u64) -> robustness::ChurnConfig {
+    match quality {
+        Quality::Quick => robustness::ChurnConfig::quick(trial_seed),
+        Quality::Paper => robustness::ChurnConfig::paper_default(trial_seed),
+    }
+}
+
+/// The backhaul-partition config for a quality/seed pair (the registry's
+/// sizing rule).
+pub fn partition_config(quality: Quality, trial_seed: u64) -> robustness::PartitionConfig {
+    match quality {
+        Quality::Quick => robustness::PartitionConfig::quick(trial_seed),
+        Quality::Paper => robustness::PartitionConfig::paper_default(trial_seed),
+    }
+}
+
+/// The CSI-aging config for a quality/seed pair (the registry's sizing
+/// rule).
+pub fn aging_config(quality: Quality, trial_seed: u64) -> robustness::CsiAgingConfig {
+    match quality {
+        Quality::Quick => robustness::CsiAgingConfig::quick(trial_seed),
+        Quality::Paper => robustness::CsiAgingConfig::paper_default(trial_seed),
+    }
+}
+
 /// Enumerate the constituent runs of one DES trial, in a stable order
-/// (`des_load`: IAC then MIMO at each load, loads ascending).
+/// (`des_load`: IAC then MIMO at each load, loads ascending;
+/// `rob_csi_aging`: the MIMO baseline, then IAC per severity, ascending).
 ///
 /// # Panics
 /// Panics if `name` is not in [`DES_SCENARIOS`].
@@ -81,6 +117,40 @@ pub fn des_runs(name: &str, quality: Quality, trial_seed: u64) -> Vec<DesRun> {
                     label: format!("mimo_{load:04.0}"),
                     spec: des_load::point_spec(&cfg, load, false),
                     phy: mimo_phy.clone(),
+                });
+            }
+            runs
+        }
+        "rob_ap_churn" => {
+            let cfg = churn_config(quality, trial_seed);
+            vec![DesRun {
+                label: "churn".to_string(),
+                spec: robustness::churn_spec(&cfg),
+                phy: robustness::churn_phy(&cfg),
+            }]
+        }
+        "rob_backhaul_partition" => {
+            let cfg = partition_config(quality, trial_seed);
+            vec![DesRun {
+                label: "partition".to_string(),
+                spec: robustness::partition_spec(&cfg),
+                phy: robustness::partition_phy(&cfg),
+            }]
+        }
+        "rob_csi_aging" => {
+            let cfg = aging_config(quality, trial_seed);
+            let (iac_phys, mimo_phy) = robustness::aging_phys(&cfg);
+            let mut runs = Vec::with_capacity(1 + cfg.severities);
+            runs.push(DesRun {
+                label: "mimo".to_string(),
+                spec: robustness::aging_mimo_spec(&cfg),
+                phy: mimo_phy,
+            });
+            for (level, phy) in iac_phys.into_iter().enumerate() {
+                runs.push(DesRun {
+                    label: format!("iac_s{level}"),
+                    spec: robustness::aging_iac_spec(&cfg, level),
+                    phy,
                 });
             }
             runs
@@ -180,6 +250,51 @@ pub fn load_trial_output(r: &des_load::LoadSweepReport) -> TrialOutput {
     }
 }
 
+/// The AP-churn trial's registry metrics from its report.
+pub fn churn_trial_output(r: &robustness::ChurnReport) -> TrialOutput {
+    TrialOutput {
+        metrics: vec![
+            ("delivery_ratio", r.delivery_ratio),
+            ("throughput_mbps", r.throughput_mbps),
+            ("faults", r.faults as f64),
+            ("poll_timeouts", r.poll_timeouts as f64),
+            ("degraded_groups", r.degraded_groups as f64),
+        ],
+    }
+}
+
+/// The backhaul-partition trial's registry metrics from its report.
+pub fn partition_trial_output(r: &robustness::PartitionReport) -> TrialOutput {
+    TrialOutput {
+        metrics: vec![
+            ("delivery_ratio", r.delivery_ratio),
+            ("throughput_mbps", r.throughput_mbps),
+            ("wire_expired", r.wire_expired as f64),
+            ("degraded_groups", r.degraded_groups as f64),
+            ("retx", r.retx as f64),
+        ],
+    }
+}
+
+/// The CSI-aging trial's registry metrics from its report: the clean and
+/// worst-severity IAC/MIMO ratios plus the sweep-wide floor — the
+/// graceful-degradation contract in three numbers (gain shrinks with
+/// severity, the floor stays at or above the baseline).
+pub fn aging_trial_output(r: &robustness::CsiAgingReport) -> TrialOutput {
+    TrialOutput {
+        metrics: vec![
+            ("gain_clean", r.ratio(0)),
+            ("gain_worst", r.ratio(r.points.len() - 1)),
+            ("min_ratio", r.min_ratio()),
+            ("mimo_mbps", r.mimo_mbps),
+            (
+                "fallback_groups_worst",
+                r.points.last().map_or(0.0, |p| p.degraded_groups as f64),
+            ),
+        ],
+    }
+}
+
 /// Reconstruct a trial's [`TrialOutput`] from its constituent outcomes (in
 /// [`des_runs`] order) — the path replayed outcomes take back to scenario
 /// metrics. Feeding in live outcomes gives exactly the registry entry's
@@ -220,6 +335,29 @@ pub fn trial_output_from(
                 })
                 .collect();
             load_trial_output(&des_load::report_from(&cfg, points))
+        }
+        "rob_ap_churn" => {
+            let cfg = churn_config(quality, trial_seed);
+            let [out]: [NetSimOutcome; 1] = outcomes.try_into().unwrap_or_else(|o: Vec<_>| {
+                panic!("rob_ap_churn expects 1 outcome, got {}", o.len())
+            });
+            churn_trial_output(&robustness::churn_report_from(&cfg, &out))
+        }
+        "rob_backhaul_partition" => {
+            let cfg = partition_config(quality, trial_seed);
+            let [out]: [NetSimOutcome; 1] = outcomes.try_into().unwrap_or_else(|o: Vec<_>| {
+                panic!("rob_backhaul_partition expects 1 outcome, got {}", o.len())
+            });
+            partition_trial_output(&robustness::partition_report_from(&cfg, &out))
+        }
+        "rob_csi_aging" => {
+            let cfg = aging_config(quality, trial_seed);
+            assert_eq!(
+                outcomes.len(),
+                1 + cfg.severities,
+                "rob_csi_aging expects the MIMO baseline plus one IAC outcome per severity"
+            );
+            aging_trial_output(&robustness::aging_report_from(&cfg, &outcomes[0], &outcomes[1..]))
         }
         other => panic!("no DES scenario named {other:?} (see desrec::DES_SCENARIOS)"),
     }

@@ -12,6 +12,7 @@ use iac_channel::estimation::EstimationConfig;
 use iac_core::baseline;
 use iac_core::decoder::{equal_split_powers, IacDecoder};
 use iac_core::optimize;
+use iac_des::fault::{FaultAt, FaultInjector};
 use iac_des::net::{NetEvent, TrafficSource, WiredSink};
 use iac_des::pcf::{EventPcf, EventPcfConfig};
 use iac_des::traffic::ArrivalProcess;
@@ -30,6 +31,17 @@ pub struct CalibratedPhy {
     threshold: f64,
     extra_loss: f64,
     n_aps: u16,
+    /// Pool used for standalone-MIMO fallback groups (one client, several
+    /// streams) when the MAC has dissolved IAC grouping. `None` keeps the
+    /// primary pool for every group shape.
+    fallback_pool: Option<Vec<f64>>,
+    /// SINR penalty per slot of CSI staleness, dB, applied to *multi-client*
+    /// groups only — stale alignment vectors leak inter-stream interference,
+    /// while a single client beamforming to its own AP needs no cross-AP
+    /// CSI. 0 disables aging entirely.
+    aging_penalty_db_per_slot: f64,
+    /// Current CSI age in slots (set by [`PhyOutcome::csi_aged`]).
+    age_slots: u16,
 }
 
 impl CalibratedPhy {
@@ -42,7 +54,26 @@ impl CalibratedPhy {
             threshold,
             extra_loss,
             n_aps,
+            fallback_pool: None,
+            aging_penalty_db_per_slot: 0.0,
+            age_slots: 0,
         }
+    }
+
+    /// Use `pool` for standalone-MIMO fallback groups (one client carrying
+    /// ≥ 2 streams) instead of the primary pool.
+    pub fn with_fallback_pool(mut self, pool: Vec<f64>) -> Self {
+        assert!(!pool.is_empty(), "empty fallback SINR pool");
+        self.fallback_pool = Some(pool);
+        self
+    }
+
+    /// Penalize multi-client (aligned) groups by `db_per_slot` dB of SINR
+    /// per slot of CSI staleness.
+    pub fn with_aging_penalty(mut self, db_per_slot: f64) -> Self {
+        assert!(db_per_slot >= 0.0);
+        self.aging_penalty_db_per_slot = db_per_slot;
+        self
     }
 
     /// Fraction of pool samples that clear the threshold (upper bound on
@@ -53,17 +84,35 @@ impl CalibratedPhy {
     }
 
     fn group(&mut self, clients: &[u16], rng: &mut Rng64) -> Vec<PacketResult> {
+        // One client multiplexing several streams is the standalone-MIMO
+        // shape: draw from the fallback pool when one is configured.
+        let single_client = clients.windows(2).all(|w| w[0] == w[1]);
+        let pool: &[f64] = if single_client && clients.len() > 1 {
+            self.fallback_pool.as_deref().unwrap_or(&self.pool)
+        } else {
+            &self.pool
+        };
+        // Stale CSI corrupts alignment: only multi-client groups pay.
+        let penalty = if !single_client && self.age_slots > 0 {
+            self.aging_penalty_db_per_slot * f64::from(self.age_slots)
+        } else {
+            0.0
+        };
+        let (threshold, extra_loss, n_aps) = (self.threshold, self.extra_loss, self.n_aps);
         clients
             .iter()
             .map(|&c| {
-                let sinr = self.pool[(rng.next_u64() % self.pool.len() as u64) as usize];
-                let lost = rng.next_f64() < self.extra_loss;
+                let mut sinr = pool[(rng.next_u64() % pool.len() as u64) as usize];
+                if penalty > 0.0 {
+                    sinr *= 10f64.powf(-penalty / 10.0);
+                }
+                let lost = rng.next_f64() < extra_loss;
                 PacketResult {
                     client: c,
                     seq: 0,
                     sinr,
-                    ok: sinr > self.threshold && !lost,
-                    ap: (rng.next_u64() % self.n_aps as u64) as u16,
+                    ok: sinr > threshold && !lost,
+                    ap: (rng.next_u64() % n_aps as u64) as u16,
                 }
             })
             .collect()
@@ -76,6 +125,9 @@ impl PhyOutcome for CalibratedPhy {
     }
     fn uplink_group(&mut self, clients: &[u16], rng: &mut Rng64) -> Vec<PacketResult> {
         self.group(clients, rng)
+    }
+    fn csi_aged(&mut self, slots: u16) {
+        self.age_slots = slots;
     }
 }
 
@@ -174,6 +226,11 @@ pub struct NetSim {
     pub cfg: EventPcfConfig,
     /// The traffic sources.
     pub sources: Vec<SourceSpec>,
+    /// Fault timeline delivered by a [`FaultInjector`] (sorted by time;
+    /// empty = clean run, and no injector component is even attached, so
+    /// the component graph — and with it every recorded log — is
+    /// byte-identical to the pre-fault builds).
+    pub faults: Vec<FaultAt>,
 }
 
 /// What a completed run yields.
@@ -240,6 +297,15 @@ pub fn build_netsim(spec: &NetSim, phy: CalibratedPhy) -> (Simulation<NetEvent>,
         }
     }
     sim.schedule(SimTime::ZERO, mac, NetEvent::CfpStart);
+    if !spec.faults.is_empty() {
+        // Attached LAST so every clean-run component keeps its id; the
+        // injector draws nothing from the RNG, so a faulty spec perturbs
+        // only what its faults actually touch.
+        let injector = FaultInjector::new(mac, spec.faults.clone());
+        let first = injector.first_due().expect("non-empty schedule has a first fault");
+        let inj = sim.add_component("faults", injector);
+        sim.schedule(first, inj, NetEvent::FaultTick);
+    }
     (sim, metrics)
 }
 
@@ -304,6 +370,14 @@ pub struct DesRunFacts {
     /// Deepest MAC queue depth among the per-CFP samples (either
     /// direction). Sampled at CFP starts, not continuous.
     pub mac_queue_peak: usize,
+    /// Fault events applied at the MAC.
+    pub faults: u64,
+    /// Group results voided because the serving AP was down.
+    pub poll_timeouts: u64,
+    /// Wire forwards abandoned (deadline, attempt budget, or partition).
+    pub wire_expired: u64,
+    /// Transmission groups formed in degraded (shrunk or fallback) mode.
+    pub degraded_groups: u64,
 }
 
 /// Flatten a finished run into [`DesRunFacts`]: engine queue statistics
@@ -339,6 +413,10 @@ fn facts_of(
             .map(|s| s.downlink.max(s.uplink))
             .max()
             .unwrap_or(0),
+        faults: out.log.faults,
+        poll_timeouts: out.log.poll_timeouts,
+        wire_expired: out.log.wire_expired,
+        degraded_groups: out.log.degraded_groups,
     }
 }
 
@@ -444,6 +522,7 @@ mod tests {
             sources: (0..3)
                 .map(|c| SourceSpec::steady(c, true, ArrivalProcess::poisson(500.0)))
                 .collect(),
+            faults: vec![],
         };
         let out = run_netsim(&spec, CalibratedPhy::new(iac, 0.5, 0.01, 3));
         assert!(out.log.offered > 20, "offered {}", out.log.offered);
@@ -470,6 +549,7 @@ mod tests {
             sources: (0..3)
                 .map(|c| SourceSpec::steady(c, true, ArrivalProcess::poisson(700.0)))
                 .collect(),
+            faults: vec![],
         };
         let phy = CalibratedPhy::new(iac, 0.5, 0.01, 3);
         let plain = run_netsim(&spec, phy.clone());

@@ -105,6 +105,10 @@ impl SweepObs {
         c("mac.poll_rounds", run.poll_rounds);
         c("mac.cfps", run.cfps);
         c("mac.air_busy_us", run.air_busy_us.round() as u64);
+        c("mac.faults", run.faults);
+        c("mac.poll_timeouts", run.poll_timeouts);
+        c("mac.wire_expired", run.wire_expired);
+        c("mac.degraded_groups", run.degraded_groups);
         self.registry
             .gauge("mac.queue_peak")
             .observe(run.mac_queue_peak as u64);
@@ -173,6 +177,10 @@ mod tests {
                 air_busy_us: 800.0,
                 end_time_us: 1_000.0,
                 mac_queue_peak: 3,
+                faults: 2,
+                poll_timeouts: 1,
+                wire_expired: 1,
+                degraded_groups: 3,
             }],
         };
         (engine, vec![trial])
@@ -192,6 +200,8 @@ mod tests {
             "\"mac.retx\":5",
             "\"mac.drops_overflow\":1",
             "\"mac.airtime_utilization_bp\":8000",
+            "\"mac.faults\":2",
+            "\"mac.degraded_groups\":3",
             "\"phy.scratch.pool_hits\":4",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");

@@ -37,7 +37,7 @@ use crate::experiment::ExperimentConfig;
 use crate::obs::{SweepObs, TrialFacts};
 use crate::scenarios::{
     ablations, clustered, des_campus, des_load, fig12, fig13, fig14, fig15, fig16, lemmas, ofdm,
-    overhead, sec6,
+    overhead, robustness, sec6,
 };
 use crate::stats;
 use iac_linalg::Rng64;
@@ -380,6 +380,36 @@ fn run_des_load_obs(q: Quality, seed: u64) -> (TrialOutput, TrialFacts) {
     (out, TrialFacts { des_runs })
 }
 
+fn run_rob_ap_churn(q: Quality, seed: u64) -> TrialOutput {
+    let r = robustness::run_churn(&crate::desrec::churn_config(q, seed));
+    crate::desrec::churn_trial_output(&r)
+}
+
+fn run_rob_ap_churn_obs(q: Quality, seed: u64) -> (TrialOutput, TrialFacts) {
+    let (out, des_runs) = crate::desrec::observed_trial("rob_ap_churn", q, seed);
+    (out, TrialFacts { des_runs })
+}
+
+fn run_rob_backhaul_partition(q: Quality, seed: u64) -> TrialOutput {
+    let r = robustness::run_partition(&crate::desrec::partition_config(q, seed));
+    crate::desrec::partition_trial_output(&r)
+}
+
+fn run_rob_backhaul_partition_obs(q: Quality, seed: u64) -> (TrialOutput, TrialFacts) {
+    let (out, des_runs) = crate::desrec::observed_trial("rob_backhaul_partition", q, seed);
+    (out, TrialFacts { des_runs })
+}
+
+fn run_rob_csi_aging(q: Quality, seed: u64) -> TrialOutput {
+    let r = robustness::run_csi_aging(&crate::desrec::aging_config(q, seed));
+    crate::desrec::aging_trial_output(&r)
+}
+
+fn run_rob_csi_aging_obs(q: Quality, seed: u64) -> (TrialOutput, TrialFacts) {
+    let (out, des_runs) = crate::desrec::observed_trial("rob_csi_aging", q, seed);
+    (out, TrialFacts { des_runs })
+}
+
 /// Every registered scenario, in presentation order.
 pub fn all() -> Vec<Scenario> {
     fn s(
@@ -428,6 +458,9 @@ pub fn all() -> Vec<Scenario> {
         s("ablation_alignment", "alignment on/off SINR contrast", 8, run_ablation_alignment),
         sd("des_campus", "dynamic-arrival campus uplink with churn", 4, run_des_campus, run_des_campus_obs),
         sd("des_load", "offered-load sweep: latency knees", 4, run_des_load, run_des_load_obs),
+        sd("rob_ap_churn", "decoding APs crash/recover; groups shrink", 4, run_rob_ap_churn, run_rob_ap_churn_obs),
+        sd("rob_backhaul_partition", "backhaul partitions; MIMO fallback + recovery", 4, run_rob_backhaul_partition, run_rob_backhaul_partition_obs),
+        sd("rob_csi_aging", "CSI staleness sweep: IAC degrades toward MIMO", 4, run_rob_csi_aging, run_rob_csi_aging_obs),
     ]
 }
 

@@ -168,6 +168,7 @@ pub fn spec_for(config: &CampusConfig) -> NetSim {
             ..EventPcfConfig::default()
         },
         sources,
+        faults: vec![],
     }
 }
 

@@ -166,6 +166,7 @@ pub fn point_spec(cfg: &LoadSweepConfig, load_pps: f64, iac: bool) -> NetSim {
         sources: (0..cfg.n_clients as u16)
             .map(|c| SourceSpec::steady(c, true, ArrivalProcess::poisson(load_pps)))
             .collect(),
+        faults: vec![],
     }
 }
 

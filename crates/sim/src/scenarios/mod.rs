@@ -15,4 +15,5 @@ pub mod fig16;
 pub mod lemmas;
 pub mod ofdm;
 pub mod overhead;
+pub mod robustness;
 pub mod sec6;

@@ -22,8 +22,9 @@ use iac_sim::DEFAULT_SEED;
 use std::path::PathBuf;
 
 /// Scenarios gated by a committed snapshot: the figure sweeps, the §6
-/// practicality checks, and the DES offered-load sweep.
-const GOLDEN_SCENARIOS: [&str; 11] = [
+/// practicality checks, the DES offered-load sweep, and the fault-injecting
+/// robustness family.
+const GOLDEN_SCENARIOS: [&str; 14] = [
     "fig12",
     "fig13a",
     "fig13b",
@@ -35,6 +36,9 @@ const GOLDEN_SCENARIOS: [&str; 11] = [
     "sec6_modulation",
     "sec6_ofdm",
     "des_load",
+    "rob_ap_churn",
+    "rob_backhaul_partition",
+    "rob_csi_aging",
 ];
 
 const REPLICATES: usize = 2;

@@ -20,7 +20,7 @@
 use iac_des::log::EventLog;
 use iac_des::NetEvent;
 use iac_sim::desrec::{self, DesRun};
-use iac_sim::scenarios::{des_campus, des_load};
+use iac_sim::scenarios::{des_campus, des_load, robustness};
 use std::path::PathBuf;
 
 /// Fixed seed for the golden runs (decoupled from `DEFAULT_SEED`, so
@@ -53,6 +53,16 @@ fn golden_runs() -> Vec<(&'static str, DesRun)> {
         latency_threshold_ms: 30.0,
         calibration_draws: 4,
     };
+    let churn_cfg = robustness::ChurnConfig {
+        seed: GOLDEN_SEED,
+        n_clients: 3,
+        uplink_pps: 300.0,
+        horizon_ms: 40.0,
+        queue_capacity: 64,
+        mean_up_ms: 12.0,
+        mean_down_ms: 5.0,
+        calibration_draws: 4,
+    };
     let (iac_phy, mimo_phy) = des_load::phys_for(&load_cfg);
     vec![
         (
@@ -77,6 +87,17 @@ fn golden_runs() -> Vec<(&'static str, DesRun)> {
                 label: "mimo_0450".to_string(),
                 spec: des_load::point_spec(&load_cfg, 450.0, false),
                 phy: mimo_phy,
+            },
+        ),
+        // A fault-injecting run: the committed log carries AP crash/recover
+        // events, freezing the fault-event wire tags alongside the clean
+        // protocol's.
+        (
+            "rob_ap_churn__churn",
+            DesRun {
+                label: "churn".to_string(),
+                spec: robustness::churn_spec(&churn_cfg),
+                phy: robustness::churn_phy(&churn_cfg),
             },
         ),
     ]

@@ -109,6 +109,76 @@ pub trait Strategy {
     type Value;
     /// Draw one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// `proptest`'s `Strategy::prop_map`: transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `proptest::strategy::Just`: always generates a clone of the value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A boxed [`prop_oneof!`] arm: draws one value from its strategy.
+pub type OneOfArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// Strategy built by [`prop_oneof!`]: each draw picks one arm uniformly.
+pub struct OneOf<V> {
+    arms: Vec<OneOfArm<V>>,
+}
+
+impl<V> OneOf<V> {
+    /// Build from the macro's boxed arm generators.
+    pub fn new(arms: Vec<OneOfArm<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let k = (rng.next_u64() % self.arms.len() as u64) as usize;
+        (self.arms[k])(rng)
+    }
+}
+
+/// `proptest::prop_oneof!`: a uniform choice between strategies producing
+/// the same value type. (The real macro supports weights; the shim draws
+/// arms uniformly, which is all the suites here need.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        $crate::OneOf::new(vec![$({
+            let s = $arm;
+            Box::new(move |rng: &mut $crate::TestRng| $crate::Strategy::generate(&s, rng))
+                as Box<dyn Fn(&mut $crate::TestRng) -> _>
+        }),+])
+    }};
 }
 
 /// Types with a canonical "any value" strategy.
@@ -249,8 +319,8 @@ pub mod collection {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
-        ProptestConfig, Strategy, TestCaseError, TestRng,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
     };
 }
 
