@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""CI smoke for the iac-serve daemon over a Unix socket (docs/SERVE.md).
+
+Proves, against the release binary:
+
+1. Concurrency: a fast request submitted AFTER a slow one completes
+   FIRST — concurrent clients are not serialized behind a coarse lock.
+   Both sides sleep (chaos_sleepy) instead of computing, so the ordering
+   is decided by wall-clock waves, not machine speed, and holds even on
+   a single-core runner.
+2. Chaos gate: a worker killed mid-request yields a typed `worker_lost`
+   error, and the daemon answers the next request — with a response
+   byte-identical to a repeat of the same request (determinism).
+3. Cache: repeating a request is served from the committed cache with
+   the identical report payload.
+4. `stats` exposes the carnage counters; `shutdown` drains and the
+   daemon exits cleanly (asserted by the workflow after we return).
+
+A shutdown request is sent even when an assertion fails, so the workflow's
+`wait` on the daemon never hangs on a red run.
+
+Usage: serve_smoke.py <socket-path>
+"""
+
+import json
+import socket
+import sys
+import threading
+import time
+
+
+def connect(path):
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.connect(path)
+    return s, s.makefile("rw", encoding="utf-8", newline="\n")
+
+
+def request(f, req):
+    """Send one request; return (final line dict, raw final line, t_done)."""
+    f.write(json.dumps(req) + "\n")
+    f.flush()
+    while True:
+        raw = f.readline()
+        assert raw, f"daemon hung up mid-request: {req}"
+        line = json.loads(raw)
+        if line["type"] != "replicate":
+            return line, raw.rstrip("\n"), time.monotonic()
+
+
+def checks(path):
+    done = {}
+
+    def slow_client():
+        s, f = connect(path)
+        # 12 sleepy replicates (~300 ms each) on the 4-worker pool: three
+        # plus waves, >= 1.2 s wall clock. The fast request below joins
+        # the queue during wave 1 and sleeps once, finishing a full wave
+        # (~600 ms) earlier — but only if requests genuinely share the
+        # pool instead of queuing behind each other.
+        line, _, t = request(
+            f,
+            {
+                "type": "run",
+                "id": "slow",
+                "scenario": "chaos_sleepy",
+                "replicates": 12,
+                "no_cache": True,
+            },
+        )
+        assert line.get("status") == "ok", line
+        done["slow"] = t
+        s.close()
+
+    slow = threading.Thread(target=slow_client)
+    slow.start()
+    time.sleep(0.25)  # let the slow request reach the pool first
+
+    s, f = connect(path)
+    line, _, t_fast = request(
+        f,
+        {
+            "type": "run",
+            "id": "fast",
+            "scenario": "chaos_sleepy",
+            "seed": 2,
+            "replicates": 1,
+            "no_cache": True,
+        },
+    )
+    assert line.get("status") == "ok", line
+    slow.join()
+    assert t_fast < done["slow"], (
+        f"fast request finished at {t_fast:.3f}, after the slow one at "
+        f"{done['slow']:.3f} — requests are serializing"
+    )
+    print("concurrency: fast request overtook the sleepy one")
+
+    # Worker-kill chaos: typed failure, then business as usual.
+    line, _, _ = request(
+        f,
+        {"type": "run", "id": "kill", "scenario": "chaos_kill_worker", "replicates": 2},
+    )
+    assert line.get("error") == "worker_lost", line
+    line, raw_a, _ = request(
+        f, {"type": "run", "id": "a", "scenario": "fig12", "seed": 11, "replicates": 2}
+    )
+    assert line.get("status") == "ok" and line["completed"] == 2, line
+    print("chaos: worker kill answered typed, daemon still serving")
+
+    # Determinism + cache: the repeat is a hit with the identical report.
+    line2, raw_b, _ = request(
+        f, {"type": "run", "id": "a", "scenario": "fig12", "seed": 11, "replicates": 2}
+    )
+    assert line2.get("cached") is True, line2
+    assert line["report"] == line2["report"], "cache hit report drifted"
+    assert raw_a.replace('"cached":false', '"cached":true') == raw_b, (
+        f"hit and cold responses differ beyond the cached flag:\n{raw_a}\n{raw_b}"
+    )
+    print("cache: repeat served from cache, report byte-identical")
+
+    line, _, _ = request(f, {"type": "stats", "id": "st"})
+    counters = line["metrics"]["counters"]
+    assert counters["serve.worker_lost"] >= 1, counters
+    assert counters["serve.cache_hits"] >= 1, counters
+    s.close()
+
+
+def shutdown(path):
+    s, f = connect(path)
+    line, _, _ = request(f, {"type": "shutdown", "id": "bye"})
+    assert line["type"] == "bye", line
+    s.close()
+
+
+def main(path):
+    try:
+        checks(path)
+    finally:
+        shutdown(path)
+    print("serve smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1])

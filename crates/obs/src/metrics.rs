@@ -260,6 +260,31 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    /// Look a metric up by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// The value of the counter named `name`, if it exists and is a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The high-water mark of the gauge named `name`, if it exists and is a
+    /// gauge.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Gauge(n) => Some(*n),
+            _ => None,
+        }
+    }
+
     /// Merge `other` into `self`. Counters and histograms sum, gauges take
     /// the max; names present in only one side carry over. Merging is
     /// commutative and associative, so parallel shards reduce in any order
@@ -419,6 +444,25 @@ mod tests {
         // Re-fetching by name hits the same atomic.
         r.counter("a.count").inc();
         assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn snapshot_named_accessors() {
+        let r = Registry::new();
+        r.counter("serve.requests").add(9);
+        r.gauge("serve.queue_high_water").observe(4);
+        r.histogram("serve.latency_us").observe(10);
+        let s = r.snapshot();
+        assert_eq!(s.counter("serve.requests"), Some(9));
+        assert_eq!(s.gauge("serve.queue_high_water"), Some(4));
+        // Wrong type or missing name: None, never a panic.
+        assert_eq!(s.counter("serve.queue_high_water"), None);
+        assert_eq!(s.gauge("serve.requests"), None);
+        assert_eq!(s.counter("nonesuch"), None);
+        assert!(matches!(
+            s.get("serve.latency_us"),
+            Some(MetricValue::Histogram { count: 1, .. })
+        ));
     }
 
     #[test]

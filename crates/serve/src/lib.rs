@@ -1,0 +1,52 @@
+//! # iac-serve — a fault-tolerant experiment daemon
+//!
+//! The production shape of the experiment harness: where
+//! `examples/sweep.rs` is a one-shot CLI that dies with its process,
+//! `iac-serve` is a long-running daemon that accepts batched experiment
+//! requests — `(scenario, quality, seed, replicates, deadline)` — over a
+//! JSON-lines protocol on stdin or a Unix socket, schedules them across a
+//! persistent worker pool on the deterministic trial engine, and streams
+//! per-replicate results as they complete.
+//!
+//! Robustness is the headline, threaded through every layer:
+//!
+//! - **Panic isolation** ([`pool`]) — trials run under `catch_unwind`; a
+//!   panicking scenario fails its request with a typed error, never the
+//!   daemon. Lost workers are detected and respawned.
+//! - **Deadlines** ([`daemon`], [`iac_sim::engine::Deadline`]) —
+//!   cooperative cancellation between replicates; partial results flush
+//!   as a contiguous replicate prefix with `status:"timeout"`.
+//! - **Backpressure** ([`daemon`]) — bounded admission with explicit
+//!   load-shedding; under overload a Paper request can degrade to a
+//!   committed Quick result (`degraded:true`) instead of a rejection.
+//! - **Crash safety** ([`cache`]) — completed results persist to a
+//!   content-addressed cache with per-entry checksums, atomic
+//!   temp-file-rename commits, and a startup recovery scan that
+//!   quarantines corruption. `SIGTERM` drains in-flight work and loses
+//!   nothing committed.
+//! - **Determinism** — the daemon derives trial seeds and reduces reports
+//!   through the exact `registry` code path, so its responses (cached or
+//!   cold, 1 worker or N) are bit-identical to
+//!   [`iac_sim::registry::run_scenario`]. The chaos suite
+//!   (`tests/chaos.rs`) injects panics, slowness, worker kills, and cache
+//!   corruption and holds that line.
+//!
+//! Protocol reference and operational walkthrough: `docs/SERVE.md`. Thin
+//! CLI: `examples/serve.rs`.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod chaos;
+pub mod daemon;
+pub mod json;
+pub mod pool;
+pub mod protocol;
+
+pub use cache::{CacheKey, CacheLookup, RecoveryReport, ResultCache};
+pub use daemon::{serve_stream, Daemon, DaemonConfig, Flow, ServeMetrics};
+pub use pool::{run_batch, BatchError, BatchOutcome, WorkerPool};
+pub use protocol::{decode_request, encode_request, ProtoError, Request, RunRequest};
+
+#[cfg(unix)]
+pub use daemon::{install_sigterm, serve_socket};

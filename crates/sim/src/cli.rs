@@ -8,11 +8,12 @@
 //! execution-dependent byte (timing, progress, telemetry) goes to stderr or
 //! to the requested export files, never to stdout.
 
+use crate::engine::Deadline;
 use crate::experiment::DEFAULT_SEED;
 use crate::obs::SweepObs;
 use crate::registry::{self, Quality};
 use std::io::Write;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Parsed sweep options.
 #[derive(Debug, Clone)]
@@ -37,6 +38,12 @@ pub struct SweepArgs {
     pub trace_path: Option<String>,
     /// Announce each scenario on stderr before running it.
     pub progress: bool,
+    /// Wall-clock budget for the whole sweep, in seconds. The deadline is
+    /// checked cooperatively between replicates (the daemon's machinery,
+    /// [`crate::engine::run_trials_deadline`]): on expiry the current
+    /// scenario reports its completed prefix, remaining scenarios are
+    /// skipped, and the sweep exits with [`SweepOutcome::TimedOut`].
+    pub timeout_secs: Option<u64>,
 }
 
 impl Default for SweepArgs {
@@ -52,13 +59,28 @@ impl Default for SweepArgs {
             metrics_path: None,
             trace_path: None,
             progress: false,
+            timeout_secs: None,
         }
     }
 }
 
+/// How a sweep ended; `examples/sweep.rs` maps these to exit codes
+/// (0 / 2 / 124).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepOutcome {
+    /// Every selected scenario ran all its replicates.
+    Completed,
+    /// `--scenario` named nothing in the registry (exit 2).
+    UnknownScenario,
+    /// `--timeout-secs` expired: partial results were printed, remaining
+    /// work was skipped (exit 124, the `timeout(1)` convention).
+    TimedOut,
+}
+
 /// The usage text `examples/sweep.rs` prints on a parse error.
 pub const USAGE: &str = "usage: sweep [--scenario <name>|all] [--replicates N] [--threads N] \
-[--seed N] [--paper] [--json] [--list] [--metrics <path>] [--trace <path>] [--progress]\n\
+[--seed N] [--paper] [--json] [--list] [--metrics <path>] [--trace <path>] [--progress] \
+[--timeout-secs N]\n\
 \n\
 --scenario    scenario id from the registry (default: all)\n\
 --replicates  independent trials to reduce (default: per-scenario)\n\
@@ -71,7 +93,13 @@ pub const USAGE: &str = "usage: sweep [--scenario <name>|all] [--replicates N] [
               profile) as JSON to <path>\n\
 --trace       write a Chrome Trace Event Format file to <path> (open in\n\
               Perfetto / chrome://tracing)\n\
---progress    announce each scenario on stderr as it starts";
+--progress    announce each scenario on stderr as it starts\n\
+--timeout-secs  wall-clock budget for the whole sweep; on expiry the\n\
+              current scenario reports the replicates completed so far,\n\
+              remaining scenarios are skipped, and sweep exits 124.\n\
+              Checked between replicates — a started replicate always\n\
+              finishes. Scenario-level telemetry folding is skipped on\n\
+              the deadline path (exports still written, engine facts only)";
 
 /// Parse `--seed`: decimal or 0x-prefixed hex.
 pub fn parse_seed(s: &str) -> Option<u64> {
@@ -121,6 +149,14 @@ pub fn parse_sweep_args(args: impl IntoIterator<Item = String>) -> Result<SweepA
             }
             "--trace" => out.trace_path = Some(args.next().ok_or_else(|| missing("--trace"))?),
             "--progress" => out.progress = true,
+            "--timeout-secs" => {
+                out.timeout_secs = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| missing("--timeout-secs"))?,
+                )
+            }
             other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
         }
     }
@@ -129,17 +165,20 @@ pub fn parse_sweep_args(args: impl IntoIterator<Item = String>) -> Result<SweepA
 
 /// Run a sweep. Aggregate output (tables or `--json`) goes to `stdout`;
 /// timing, progress, and telemetry notices go to `stderr`; metric/trace
-/// exports go to their `--metrics`/`--trace` files. Returns `Ok(false)` for
-/// an unknown scenario name (caller exits 2).
+/// exports go to their `--metrics`/`--trace` files. Returns the outcome
+/// (`examples/sweep.rs` maps [`SweepOutcome::UnknownScenario`] to exit 2
+/// and [`SweepOutcome::TimedOut`] to exit 124).
 ///
 /// The stdout bytes are bit-identical for every `--threads` value and for
 /// every combination of telemetry flags: telemetry is folded from passive
-/// observations after each scenario's outputs are already reduced.
+/// observations after each scenario's outputs are already reduced. (With
+/// `--timeout-secs`, *which* replicates complete is necessarily
+/// timing-dependent — partial output makes no invariance promise.)
 pub fn run_sweep(
     args: &SweepArgs,
     stdout: &mut dyn Write,
     stderr: &mut dyn Write,
-) -> std::io::Result<bool> {
+) -> std::io::Result<SweepOutcome> {
     let scenarios = registry::all();
 
     if args.list {
@@ -147,7 +186,7 @@ pub fn run_sweep(
         for s in &scenarios {
             writeln!(stdout, "{:<22} {:<5} {}", s.name, s.default_replicates, s.about)?;
         }
-        return Ok(true);
+        return Ok(SweepOutcome::Completed);
     }
 
     let selected: Vec<_> = if args.scenario == "all" {
@@ -161,14 +200,29 @@ pub fn run_sweep(
                     "unknown scenario '{}'; try --list for the registry",
                     args.scenario
                 )?;
-                return Ok(false);
+                return Ok(SweepOutcome::UnknownScenario);
             }
         }
     };
 
+    let deadline = match args.timeout_secs {
+        Some(s) => Deadline::after(Duration::from_secs(s)),
+        None => Deadline::none(),
+    };
     let telemetry = args.metrics_path.is_some() || args.trace_path.is_some();
     let mut obs = SweepObs::new();
+    let mut timed_out = false;
     for spec in &selected {
+        if deadline.expired() {
+            writeln!(
+                stderr,
+                "[timeout] budget of {}s exhausted before {}; skipping it and the rest",
+                args.timeout_secs.unwrap_or(0),
+                spec.name
+            )?;
+            timed_out = true;
+            break;
+        }
         let replicates = args.replicates.unwrap_or(spec.default_replicates);
         if args.progress {
             writeln!(
@@ -180,7 +234,27 @@ pub fn run_sweep(
             )?;
         }
         let started = Instant::now();
-        let report = if telemetry {
+        let report = if deadline.is_bounded() {
+            // The daemon's deadline machinery: stop claiming replicates
+            // once the budget is gone, report the completed prefix.
+            let (report, complete) = registry::run_scenario_deadline(
+                spec,
+                args.quality,
+                args.seed,
+                replicates,
+                args.threads,
+                deadline,
+            );
+            if !complete {
+                writeln!(
+                    stderr,
+                    "[timeout] {}: {} of {} replicates completed before the deadline",
+                    spec.name, report.replicates, replicates
+                )?;
+                timed_out = true;
+            }
+            report
+        } else if telemetry {
             registry::run_scenario_observed(
                 spec,
                 args.quality,
@@ -198,13 +272,16 @@ pub fn run_sweep(
             stderr,
             "[{}] {} replicates in {:.2?}",
             spec.name,
-            replicates,
+            report.replicates,
             started.elapsed()
         )?;
         if args.json {
             writeln!(stdout, "{}", report.to_json())?;
         } else {
             write!(stdout, "{report}")?;
+        }
+        if timed_out {
+            break;
         }
     }
 
@@ -216,7 +293,11 @@ pub fn run_sweep(
         std::fs::write(path, obs.trace_json())?;
         writeln!(stderr, "chrome trace written to {path}")?;
     }
-    Ok(true)
+    Ok(if timed_out {
+        SweepOutcome::TimedOut
+    } else {
+        SweepOutcome::Completed
+    })
 }
 
 #[cfg(test)]
@@ -232,6 +313,7 @@ mod tests {
         let a = parse(&[
             "--scenario", "des_load", "--replicates", "2", "--threads", "4", "--seed", "0x1a",
             "--paper", "--json", "--metrics", "m.json", "--trace", "t.json", "--progress",
+            "--timeout-secs", "30",
         ]);
         assert_eq!(a.scenario, "des_load");
         assert_eq!(a.replicates, Some(2));
@@ -241,6 +323,7 @@ mod tests {
         assert!(a.json && a.progress);
         assert_eq!(a.metrics_path.as_deref(), Some("m.json"));
         assert_eq!(a.trace_path.as_deref(), Some("t.json"));
+        assert_eq!(a.timeout_secs, Some(30));
     }
 
     #[test]
@@ -250,6 +333,8 @@ mod tests {
             vec!["--replicates", "0"],
             vec!["--seed", "zebra"],
             vec!["--metrics"],
+            vec!["--timeout-secs", "0"],
+            vec!["--timeout-secs"],
         ] {
             let err = parse_sweep_args(line.iter().map(|s| s.to_string())).unwrap_err();
             assert!(err.contains("usage:"), "{err}");
@@ -263,7 +348,10 @@ mod tests {
             ..SweepArgs::default()
         };
         let (mut out, mut err) = (Vec::new(), Vec::new());
-        assert!(run_sweep(&args, &mut out, &mut err).unwrap());
+        assert_eq!(
+            run_sweep(&args, &mut out, &mut err).unwrap(),
+            SweepOutcome::Completed
+        );
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("des_load"));
         assert!(err.is_empty());
@@ -276,8 +364,37 @@ mod tests {
             ..SweepArgs::default()
         };
         let (mut out, mut err) = (Vec::new(), Vec::new());
-        assert!(!run_sweep(&args, &mut out, &mut err).unwrap());
+        assert_eq!(
+            run_sweep(&args, &mut out, &mut err).unwrap(),
+            SweepOutcome::UnknownScenario
+        );
         assert!(out.is_empty());
         assert!(String::from_utf8(err).unwrap().contains("unknown scenario"));
+    }
+
+    #[test]
+    fn generous_timeout_output_matches_unbounded() {
+        let base = SweepArgs {
+            scenario: "sec7_overhead".to_string(),
+            replicates: Some(2),
+            threads: 1,
+            json: true,
+            ..SweepArgs::default()
+        };
+        let (mut plain, mut err) = (Vec::new(), Vec::new());
+        assert_eq!(
+            run_sweep(&base, &mut plain, &mut err).unwrap(),
+            SweepOutcome::Completed
+        );
+        let bounded_args = SweepArgs {
+            timeout_secs: Some(3600),
+            ..base
+        };
+        let (mut bounded, mut err) = (Vec::new(), Vec::new());
+        assert_eq!(
+            run_sweep(&bounded_args, &mut bounded, &mut err).unwrap(),
+            SweepOutcome::Completed
+        );
+        assert_eq!(plain, bounded, "a deadline that never fires must not change stdout");
     }
 }

@@ -295,6 +295,37 @@ pub fn aging_trial_output(r: &robustness::CsiAgingReport) -> TrialOutput {
     }
 }
 
+/// The `trial.json` payload of a recording directory: bit-faithful
+/// (`f64::to_bits`) metric values alongside the full seed-derivation
+/// context, so a replay can verify the reconstructed [`TrialOutput`]
+/// byte-for-byte. Written by `examples/replay.rs`'s `record` command and
+/// by the serve daemon's `--audit-dir` trail; re-generated and compared by
+/// the `replay` command.
+pub fn trial_json(
+    name: &str,
+    quality: Quality,
+    master_seed: u64,
+    trial: usize,
+    trial_seed: u64,
+    out: &TrialOutput,
+) -> String {
+    let mut s = format!(
+        "{{\n  \"scenario\": \"{name}\",\n  \"quality\": \"{}\",\n  \"master_seed\": {master_seed},\n  \"trial\": {trial},\n  \"trial_seed\": {trial_seed},\n  \"metrics\": {{",
+        quality.label(),
+    );
+    for (i, (metric, v)) in out.metrics.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    \"{metric}\": {{\"bits\": \"{:#018x}\", \"approx\": \"{v}\"}}",
+            v.to_bits()
+        ));
+    }
+    s.push_str("\n  }\n}\n");
+    s
+}
+
 /// Reconstruct a trial's [`TrialOutput`] from its constituent outcomes (in
 /// [`des_runs`] order) — the path replayed outcomes take back to scenario
 /// metrics. Feeding in live outcomes gives exactly the registry entry's

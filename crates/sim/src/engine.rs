@@ -27,7 +27,56 @@ use iac_linalg::Rng64;
 use iac_obs::{ProfileTree, Profiler, TraceEvent};
 use iac_phy::ScratchStats;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// A cooperative wall-clock deadline, shared by the deadline-aware trial
+/// runner ([`run_trials_deadline`]), the sweep CLI's `--timeout-secs`, and
+/// the `iac-serve` daemon's per-request deadlines.
+///
+/// A deadline is only ever *checked between units of work* (between
+/// replicates here, between queue claims in the daemon) — a trial that has
+/// started always runs to completion, so partial results are whole trials
+/// and stay bit-faithful to what an unbounded run would have produced for
+/// those trial indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// The unbounded deadline: never expires.
+    pub fn none() -> Self {
+        Deadline { at: None }
+    }
+
+    /// Expire `d` from now.
+    pub fn after(d: Duration) -> Self {
+        Deadline {
+            at: Some(Instant::now() + d),
+        }
+    }
+
+    /// Expire at the given instant.
+    pub fn at(instant: Instant) -> Self {
+        Deadline { at: Some(instant) }
+    }
+
+    /// Whether the deadline is bounded at all.
+    pub fn is_bounded(&self) -> bool {
+        self.at.is_some()
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.at.is_some_and(|at| Instant::now() >= at)
+    }
+
+    /// Time left: `None` for an unbounded deadline, `Some(ZERO)` once
+    /// expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at.map(|at| at.saturating_duration_since(Instant::now()))
+    }
+}
 
 /// One unit of work for the pool: a replicate index and the seed that
 /// replicate must use — everything a worker needs, nothing more. The
@@ -114,6 +163,72 @@ where
     merged.sort_by_key(|&(i, _)| i);
     debug_assert_eq!(merged.len(), n);
     merged.into_iter().map(|(_, t)| t).collect()
+}
+
+/// [`run_trials`] under a cooperative [`Deadline`]: workers check the
+/// deadline **before claiming** each trial index and stop claiming once it
+/// has passed; every claimed trial still runs to completion. Returns the
+/// completed outputs and whether the run finished all `n` trials.
+///
+/// Because indices are claimed in order from a shared cursor, the completed
+/// set is always the contiguous prefix `0..k` — so a partial result is
+/// bit-identical to the first `k` trials of an unbounded run, whatever the
+/// thread count (only `k` itself is timing-dependent).
+pub fn run_trials_deadline<T, F>(
+    n: usize,
+    threads: usize,
+    deadline: Deadline,
+    run: F,
+) -> (Vec<T>, bool)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if !deadline.is_bounded() {
+        return (run_trials(n, threads, run), true);
+    }
+    let threads = resolve_threads(threads).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            if deadline.expired() {
+                return (out, false);
+            }
+            out.push(run(i));
+        }
+        return (out, true);
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut merged: Vec<(usize, T)> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut shard: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        if deadline.expired() {
+                            break;
+                        }
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        shard.push((i, run(i)));
+                    }
+                    shard
+                })
+            })
+            .collect();
+        for h in handles {
+            merged.extend(h.join().expect("trial worker panicked"));
+        }
+    });
+    merged.sort_by_key(|&(i, _)| i);
+    // Claims are sequential from the cursor and every claimed trial
+    // completes, so the merged indices are exactly `0..merged.len()`.
+    debug_assert!(merged.iter().enumerate().all(|(k, &(i, _))| k == i));
+    let complete = merged.len() == n;
+    (merged.into_iter().map(|(_, t)| t).collect(), complete)
 }
 
 /// Wall-clock timing of one trial, as observed by
@@ -358,6 +473,62 @@ mod tests {
                 assert!(facts.profile.roots.is_empty());
             }
         }
+    }
+
+    #[test]
+    fn unbounded_deadline_runs_everything() {
+        let (out, complete) =
+            run_trials_deadline(9, 3, Deadline::none(), |i| i * 2);
+        assert!(complete);
+        assert_eq!(out, (0..9).map(|i| i * 2).collect::<Vec<_>>());
+        assert!(!Deadline::none().expired());
+        assert_eq!(Deadline::none().remaining(), None);
+    }
+
+    #[test]
+    fn expired_deadline_stops_between_trials() {
+        // Already-expired deadline: zero trials run (serial and parallel).
+        for threads in [1, 4] {
+            let past = Deadline::at(Instant::now() - Duration::from_millis(1));
+            assert!(past.expired());
+            assert_eq!(past.remaining(), Some(Duration::ZERO));
+            let (out, complete) = run_trials_deadline(8, threads, past, |i| i);
+            assert!(!complete, "threads = {threads}");
+            assert!(out.is_empty(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn partial_results_are_the_contiguous_prefix() {
+        // Slow trials against a short deadline: whatever completes must be
+        // the prefix 0..k with the same values an unbounded run produces.
+        for threads in [1, 3] {
+            let (out, complete) = run_trials_deadline(
+                64,
+                threads,
+                Deadline::after(Duration::from_millis(30)),
+                |i| {
+                    std::thread::sleep(Duration::from_millis(4));
+                    i * 7
+                },
+            );
+            assert!(!complete, "64 * 4ms cannot fit in 30ms (threads = {threads})");
+            assert!(out.len() < 64);
+            assert_eq!(out, (0..out.len()).map(|i| i * 7).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn generous_deadline_completes_and_matches_unbounded() {
+        let serial: Vec<u64> = (0..11).map(|i| Rng64::derive(5, i as u64).next_u64()).collect();
+        let (out, complete) = run_trials_deadline(
+            11,
+            2,
+            Deadline::after(Duration::from_secs(3600)),
+            |i| Rng64::derive(5, i as u64).next_u64(),
+        );
+        assert!(complete);
+        assert_eq!(out, serial);
     }
 
     #[test]

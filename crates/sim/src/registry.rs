@@ -569,7 +569,37 @@ pub fn run_scenario(
     let trials = engine::trials_for(scen_seed, replicates);
     let run = spec.run;
     let outputs = engine::run_trials(trials.len(), threads, |i| run(quality, trials[i].seed));
-    reduce(spec, quality, master_seed, replicates, &outputs)
+    reduce_outputs(spec.name, quality, master_seed, replicates, &outputs)
+}
+
+/// [`run_scenario`] under a cooperative [`engine::Deadline`]: the engine
+/// stops claiming replicates once the deadline passes (each claimed
+/// replicate still completes). Returns the report over the completed prefix
+/// — its `replicates` field is the *completed* count — plus whether the
+/// sweep finished every requested replicate.
+///
+/// The completed replicates are bit-identical to the first `k` of an
+/// unbounded run (see [`engine::run_trials_deadline`]); only `k` itself
+/// depends on timing, so partial reports are never cached or golden-gated.
+pub fn run_scenario_deadline(
+    spec: &Scenario,
+    quality: Quality,
+    master_seed: u64,
+    replicates: usize,
+    threads: usize,
+    deadline: engine::Deadline,
+) -> (ScenarioReport, bool) {
+    let scen_seed = scenario_seed(master_seed, spec.name);
+    let trials = engine::trials_for(scen_seed, replicates);
+    let run = spec.run;
+    let (outputs, complete) = engine::run_trials_deadline(trials.len(), threads, deadline, |i| {
+        run(quality, trials[i].seed)
+    });
+    let completed = outputs.len();
+    (
+        reduce_outputs(spec.name, quality, master_seed, completed, &outputs),
+        complete,
+    )
 }
 
 /// [`run_scenario`] with telemetry: trials run through the observed engine
@@ -597,14 +627,21 @@ pub fn run_scenario_observed(
         });
     let (outputs, trial_facts): (Vec<TrialOutput>, Vec<TrialFacts>) = pairs.into_iter().unzip();
     obs.record_scenario(spec.name, &engine_facts, &trial_facts);
-    reduce(spec, quality, master_seed, replicates, &outputs)
+    reduce_outputs(spec.name, quality, master_seed, replicates, &outputs)
 }
 
 /// The shared order-independent reduce: trial outputs (already in trial
-/// order) to `mean ± 95 % CI` per metric. Both `run_scenario` variants go
-/// through here, so an observed sweep cannot drift from a plain one.
-fn reduce(
-    spec: &Scenario,
+/// order) to `mean ± 95 % CI` per metric. Every `run_scenario` variant goes
+/// through here, so an observed sweep cannot drift from a plain one —
+/// public so out-of-crate schedulers (the `iac-serve` daemon runs
+/// replicates through its own worker pool) reduce through the identical
+/// code path and their reports stay bit-identical to [`run_scenario`]'s.
+///
+/// # Panics
+/// Panics if the outputs disagree on metric names (a scenario contract
+/// violation, not an input error).
+pub fn reduce_outputs(
+    scenario: &'static str,
     quality: Quality,
     master_seed: u64,
     replicates: usize,
@@ -618,8 +655,7 @@ fn reduce(
                 .map(|o| {
                     assert_eq!(
                         o.metrics[idx].0, name,
-                        "scenario {} emitted inconsistent metric names",
-                        spec.name
+                        "scenario {scenario} emitted inconsistent metric names",
                     );
                     o.metrics[idx].1
                 })
@@ -633,7 +669,7 @@ fn reduce(
         }
     }
     ScenarioReport {
-        scenario: spec.name,
+        scenario,
         quality,
         master_seed,
         replicates,
@@ -697,6 +733,50 @@ mod tests {
             json.contains("\"engine.sec7_overhead.trials\":3"),
             "engine telemetry missing from {json}"
         );
+    }
+
+    #[test]
+    fn deadline_scenario_matches_unbounded_when_generous() {
+        let spec = find("sec7_overhead").unwrap();
+        let plain = run_scenario(&spec, Quality::Quick, 7, 3, 1);
+        let (bounded, complete) = run_scenario_deadline(
+            &spec,
+            Quality::Quick,
+            7,
+            3,
+            1,
+            engine::Deadline::after(std::time::Duration::from_secs(3600)),
+        );
+        assert!(complete);
+        assert_eq!(plain, bounded);
+        // An already-expired deadline yields a well-formed empty report.
+        let (empty, complete) = run_scenario_deadline(
+            &spec,
+            Quality::Quick,
+            7,
+            3,
+            1,
+            engine::Deadline::at(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+        );
+        assert!(!complete);
+        assert_eq!(empty.replicates, 0);
+        assert!(empty.metrics.is_empty());
+        assert!(empty.to_json().contains("\"replicates\":0"));
+    }
+
+    #[test]
+    fn reduce_outputs_rebuilds_a_run_scenario_report() {
+        // The iac-serve contract: reducing the same trial outputs through
+        // the public entry point is bit-identical to run_scenario.
+        let spec = find("sec7_overhead").unwrap();
+        let expected = run_scenario(&spec, Quality::Quick, 7, 3, 1);
+        let scen_seed = scenario_seed(7, spec.name);
+        let trials = engine::trials_for(scen_seed, 3);
+        let outputs: Vec<TrialOutput> =
+            trials.iter().map(|t| (spec.run)(Quality::Quick, t.seed)).collect();
+        let rebuilt = reduce_outputs(spec.name, Quality::Quick, 7, 3, &outputs);
+        assert_eq!(expected, rebuilt);
+        assert_eq!(expected.to_json(), rebuilt.to_json());
     }
 
     #[test]

@@ -74,7 +74,10 @@ fn des_scenario_telemetry_reaches_every_layer() {
 
 fn sweep_stdout(args: &SweepArgs) -> (Vec<u8>, Vec<u8>) {
     let (mut out, mut err) = (Vec::new(), Vec::new());
-    assert!(run_sweep(args, &mut out, &mut err).expect("sweep runs"));
+    assert_eq!(
+        run_sweep(args, &mut out, &mut err).expect("sweep runs"),
+        iac_sim::cli::SweepOutcome::Completed
+    );
     (out, err)
 }
 

@@ -153,25 +153,9 @@ fn trial_seed(a: &TrialArgs) -> u64 {
 /// IEEE bit patterns (with a human-readable companion), so byte equality
 /// of the file is bit equality of every metric.
 fn trial_json(a: &TrialArgs, seed: u64, out: &TrialOutput) -> String {
-    let mut s = format!(
-        "{{\n  \"scenario\": \"{}\",\n  \"quality\": \"{}\",\n  \"master_seed\": {},\n  \"trial\": {},\n  \"trial_seed\": {},\n  \"metrics\": {{",
-        a.scenario,
-        a.quality.label(),
-        a.master_seed,
-        a.trial,
-        seed
-    );
-    for (i, (name, v)) in out.metrics.iter().enumerate() {
-        if i > 0 {
-            s.push(',');
-        }
-        s.push_str(&format!(
-            "\n    \"{name}\": {{\"bits\": \"{:#018x}\", \"approx\": \"{v}\"}}",
-            v.to_bits()
-        ));
-    }
-    s.push_str("\n  }\n}\n");
-    s
+    // Shared with the serve daemon's audit trail, which writes the same
+    // recording layout (see docs/SERVE.md).
+    desrec::trial_json(&a.scenario, a.quality, a.master_seed, a.trial, seed, out)
 }
 
 fn read_log(path: &Path) -> EventLog {

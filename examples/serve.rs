@@ -1,0 +1,117 @@
+//! The experiment daemon CLI: `iac-serve` behind one binary.
+//!
+//! ```text
+//! cargo run --release --example serve                        # JSON-lines on stdin/stdout
+//! cargo run --release --example serve -- --socket /tmp/iac.sock --workers 4
+//! cargo run --release --example serve -- --cache-dir .iac-cache --audit-dir .iac-audit
+//! cargo run --release --example serve -- --chaos --default-deadline-ms 30000
+//! ```
+//!
+//! Flags:
+//!
+//! - `--socket <path>` — serve a Unix socket (concurrent clients) instead
+//!   of stdin/stdout (sequential).
+//! - `--workers <n>` — trial worker threads (default 2).
+//! - `--max-inflight <n>` — run requests executing at once before
+//!   load-shedding (default 4).
+//! - `--cache-dir <dir>` — enable the crash-safe result cache; the startup
+//!   recovery scan is reported on stderr.
+//! - `--audit-dir <dir>` — record served DES runs as recording
+//!   directories (`.iaclog` event logs + metrics + `trial.json`)
+//!   verifiable offline with `examples/replay.rs`.
+//! - `--chaos` — expose the `chaos_*` fault-injection scenarios.
+//! - `--default-deadline-ms <ms>` — deadline for requests that carry none.
+//!
+//! `SIGTERM`/`SIGINT` (and the `shutdown` request) drain in-flight work
+//! and exit cleanly; nothing committed to the cache is ever lost. Protocol
+//! reference: `docs/SERVE.md`.
+
+use iac_lan::serve::{daemon, Daemon, DaemonConfig};
+use std::io::{self, Write as _};
+
+fn usage(msg: &str) -> ! {
+    eprintln!("serve: {msg}");
+    eprintln!(
+        "usage: serve [--socket <path>] [--workers <n>] [--max-inflight <n>] \
+         [--cache-dir <dir>] [--audit-dir <dir>] [--chaos] [--default-deadline-ms <ms>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = DaemonConfig::default();
+    let mut socket: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--socket" => socket = Some(value("--socket").into()),
+            "--workers" => {
+                cfg.workers = value("--workers")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--workers needs a positive integer"));
+            }
+            "--max-inflight" => {
+                cfg.max_inflight = value("--max-inflight")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--max-inflight needs a positive integer"));
+            }
+            "--cache-dir" => cfg.cache_dir = Some(value("--cache-dir").into()),
+            "--audit-dir" => cfg.audit_dir = Some(value("--audit-dir").into()),
+            "--chaos" => cfg.chaos = true,
+            "--default-deadline-ms" => {
+                cfg.default_deadline_ms = Some(
+                    value("--default-deadline-ms")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--default-deadline-ms needs an integer")),
+                );
+            }
+            "--stdio" => socket = None,
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    if cfg.workers == 0 || cfg.max_inflight == 0 {
+        usage("--workers and --max-inflight must be at least 1");
+    }
+
+    daemon::install_sigterm();
+    let daemon = match Daemon::new(cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("serve: startup failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let rec = daemon.recovery();
+    if rec.valid + rec.quarantined + rec.stale_tmp > 0 {
+        eprintln!(
+            "serve: cache recovery: {} valid, {} quarantined, {} stale tmp swept",
+            rec.valid, rec.quarantined, rec.stale_tmp
+        );
+    }
+
+    let result = match &socket {
+        Some(path) => {
+            eprintln!("serve: listening on {}", path.display());
+            daemon::serve_socket(&daemon, path)
+        }
+        None => {
+            let stdin = io::stdin();
+            let stdout = io::stdout();
+            let mut reader = stdin.lock();
+            let mut writer = stdout.lock();
+            daemon::serve_stream(&daemon, &mut reader, &mut writer, &|| false)
+        }
+    };
+    // Drain the pool before reporting: in-flight work always completes.
+    daemon.shutdown();
+    let _ = io::stderr().flush();
+    if let Err(e) = result {
+        eprintln!("serve: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("serve: drained, bye");
+}

@@ -12,7 +12,14 @@
 //! cargo run --release --example sweep -- --scenario all --paper --threads 8 --seed 42
 //! cargo run --release --example sweep -- --scenario fig12 --json
 //! cargo run --release --example sweep -- --scenario des_load --metrics m.json --trace t.json
+//! cargo run --release --example sweep -- --scenario all --paper --timeout-secs 60
 //! ```
+//!
+//! `--timeout-secs` bounds the whole sweep with the `iac-serve` daemon's
+//! cooperative deadline machinery: the budget is checked between
+//! replicates, the scenario in flight reports the replicates it completed,
+//! the rest are skipped, and the process exits 124 (the `timeout(1)`
+//! convention) instead of running unbounded.
 //!
 //! Determinism guarantee (see `docs/EXPERIMENTS.md` and
 //! `docs/OBSERVABILITY.md`): the aggregate output on **stdout** is
@@ -36,8 +43,9 @@ fn main() {
     let mut stdout = std::io::stdout().lock();
     let mut stderr = std::io::stderr().lock();
     match cli::run_sweep(&args, &mut stdout, &mut stderr) {
-        Ok(true) => {}
-        Ok(false) => std::process::exit(2),
+        Ok(cli::SweepOutcome::Completed) => {}
+        Ok(cli::SweepOutcome::UnknownScenario) => std::process::exit(2),
+        Ok(cli::SweepOutcome::TimedOut) => std::process::exit(124),
         Err(e) => {
             eprintln!("sweep: {e}");
             std::process::exit(1);

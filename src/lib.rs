@@ -28,6 +28,11 @@
 //!   time-domain (latency/churn/offered-load) scenarios, and the
 //!   deterministic parallel experiment engine with its unified scenario
 //!   registry (`examples/sweep.rs` is the CLI).
+//! * [`serve`] — the fault-tolerant experiment daemon: JSON-lines
+//!   protocol on stdin/Unix socket, panic-isolating worker pool,
+//!   cooperative deadlines, backpressure with graceful degradation, and
+//!   a crash-safe content-addressed result cache (see `docs/SERVE.md`;
+//!   `examples/serve.rs` is the CLI).
 //!
 //! ## Quickstart
 //!
@@ -62,6 +67,7 @@ pub use iac_linalg as linalg;
 pub use iac_mac as mac;
 pub use iac_obs as obs;
 pub use iac_phy as phy;
+pub use iac_serve as serve;
 pub use iac_sim as sim;
 
 /// The most commonly used items in one import.
