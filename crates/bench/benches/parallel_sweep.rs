@@ -3,9 +3,10 @@
 //! Runs a paper-scale Fig. 14 sweep through `iac_sim::engine` at 1 worker
 //! and at `min(8, cores)` workers, verifies the aggregate output is
 //! **byte-identical** (the engine's determinism contract), and reports the
-//! wall-clock speedup. On a machine with ≥ 8 cores the speedup should be
-//! near-linear (the trials are embarrassingly parallel and share no state);
-//! the ISSUE acceptance bar is ≥ 3× at 8 threads.
+//! wall-clock speedup. The trials are embarrassingly parallel and share no
+//! state, and the chunked work-stealing engine keeps claim traffic off the
+//! hot path, so the acceptance bar on real parallelism is ≥ 0.7× the
+//! worker count (e.g. ≥ 5.6× at 8 threads).
 //!
 //! The run *reports* rather than asserts the speedup when fewer than 4
 //! cores are available — scaling cannot manifest without hardware to scale
@@ -64,8 +65,9 @@ fn main() {
     // The scaling bar only applies to paper-scale runs on real parallelism.
     if scale() == Scale::Paper && cores >= 4 {
         assert!(
-            speedup > 0.4 * wide as f64,
-            "poor scaling: {speedup:.2}x at {wide} threads on {cores} cores"
+            speedup >= 0.7 * wide as f64,
+            "poor scaling: {speedup:.2}x at {wide} threads on {cores} cores (bar: {:.2}x)",
+            0.7 * wide as f64
         );
     } else {
         println!("(quick scale or < 4 cores: scaling reported, not asserted)");

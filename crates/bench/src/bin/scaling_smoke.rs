@@ -1,0 +1,55 @@
+//! CI guard for the engine's one-core parallel regression.
+//!
+//! The shipped bug: requesting 2 threads on a single-core runner was ~35 %
+//! *slower* than serial (thread spawn + context-switch overhead, cold
+//! thread-local arenas) — `parallel_sweep/fig14_quick_r2_threads/2` sat
+//! above `/1` in the committed baselines. The engine now clamps its worker
+//! count to the available cores and claims work in shrinking chunks, so a
+//! 2-thread request must never cost more than a 1-thread request, on any
+//! machine.
+//!
+//! This binary runs the same registry scenario the gated micro-benchmark
+//! uses (Fig. 14, quick quality, 2 replicates) at 1 and at 2 requested
+//! threads, best-of-N, asserts the aggregates are byte-identical, and fails
+//! if the 2-thread run exceeds the 1-thread run beyond a small timer-noise
+//! allowance. Exit status is the CI signal.
+
+use iac_sim::registry::{self, Quality};
+use std::time::Instant;
+
+/// Quick-scale runs are milliseconds; allow this much relative noise before
+/// calling a 2-thread run "slower". The regression being guarded was ~1.35x.
+const NOISE_ALLOWANCE: f64 = 0.10;
+
+fn main() {
+    let spec = registry::find("fig14").expect("fig14 registered");
+    let measure = |threads: usize| {
+        let mut best = std::time::Duration::MAX;
+        let mut report = None;
+        for _ in 0..5 {
+            let t = Instant::now();
+            let r = registry::run_scenario(&spec, Quality::Quick, 0x5EED, 2, threads);
+            best = best.min(t.elapsed());
+            report = Some(r);
+        }
+        (report.expect("at least one run"), best)
+    };
+    let (serial, t1) = measure(1);
+    let (wide, t2) = measure(2);
+    assert_eq!(
+        serial.to_json(),
+        wide.to_json(),
+        "DETERMINISM VIOLATION: 2-thread aggregate differs from serial"
+    );
+    let ratio = t2.as_secs_f64() / t1.as_secs_f64();
+    println!(
+        "scaling smoke (fig14 quick, r2, best of 5): 1 thread {t1:.2?} | 2 threads {t2:.2?} | ratio {ratio:.3}"
+    );
+    assert!(
+        ratio <= 1.0 + NOISE_ALLOWANCE,
+        "REGRESSION: 2-thread run is {:.0}% slower than 1-thread (allowed: {:.0}% noise)",
+        (ratio - 1.0) * 100.0,
+        NOISE_ALLOWANCE * 100.0
+    );
+    println!("ok: requesting 2 threads never costs more than serial");
+}

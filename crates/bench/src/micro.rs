@@ -21,6 +21,7 @@ use iac_phy::dsp::Scratch;
 use iac_phy::medium::{AirTransmission, Medium};
 use iac_phy::precode::precode_into;
 use iac_phy::project::combine_into;
+use iac_phy::soa;
 use iac_channel::{Awgn, Cfo};
 
 /// Samples per packet in the sample-plane workloads: a 1500-byte BPSK
@@ -145,6 +146,38 @@ pub fn register_sample_ops(c: &mut Criterion) {
             plan.ifft(&mut spectrum);
         })
     });
+
+    // The raw SoA kernels underneath the adapters above, on packet-sized
+    // split planes: these expose the packed inner loops directly (no
+    // split/merge at the edges), so a vectorization regression shows up
+    // here even when the adapter numbers are dominated by memory traffic.
+    let (s_re, s_im): (Vec<f64>, Vec<f64>) =
+        samples.iter().map(|z| (z.re, z.im)).unzip();
+    let w = samples[1];
+    let mut acc_re = vec![0.0; PACKET_SAMPLES];
+    let mut acc_im = vec![0.0; PACKET_SAMPLES];
+    group.bench_function("soa_axpy_12k", |b| {
+        b.iter(|| soa::axpy(w, &s_re, &s_im, &mut acc_re, &mut acc_im))
+    });
+    let mut rot_re = vec![0.0; PACKET_SAMPLES];
+    let mut rot_im = vec![0.0; PACKET_SAMPLES];
+    group.bench_function("soa_fill_phasors_12k", |b| {
+        b.iter(|| soa::fill_phasors(cfo.phasor_at(0), cfo.phasor_at(1), &mut rot_re, &mut rot_im))
+    });
+    group.bench_function("soa_rotate_scale_12k", |b| {
+        b.iter(|| {
+            soa::rotate_scale(w, &s_re, &s_im, &rot_re, &rot_im, &mut acc_re, &mut acc_im)
+        })
+    });
+    let mut f_re: Vec<f64> = s_re[..1024].to_vec();
+    let mut f_im: Vec<f64> = s_im[..1024].to_vec();
+    group.bench_function("fft_split_1024", |b| {
+        b.iter(|| {
+            let plan = scratch.plan(1024);
+            plan.fft_split(&mut f_re, &mut f_im);
+            plan.ifft_split(&mut f_re, &mut f_im);
+        })
+    });
     group.finish();
 }
 
@@ -185,8 +218,11 @@ pub fn register_parallel_sweep(c: &mut Criterion) {
             |b, &t| b.iter(|| registry::run_scenario(&spec, Quality::Quick, 0x5EED, 2, t)),
         );
     }
+    // Raw claim/reduce cost of the chunked work-stealing dispatcher at an
+    // exact worker count (`run_trials_on` bypasses the core clamp, so the
+    // two-worker machinery is measured even on a single-core runner).
     group.bench_function("engine_dispatch_4k_trials", |b| {
-        b.iter(|| iac_sim::engine::run_trials(4096, 2, |i| (i as u64).wrapping_mul(3)))
+        b.iter(|| iac_sim::engine::run_trials_on(4096, 2, |i| (i as u64).wrapping_mul(3)))
     });
     group.finish();
 }

@@ -9,6 +9,8 @@
 //! y_a(t) = Σ_tx Σ_b H_tx[a][b]·x_tx,b(t)·e^{j2πΔf_tx·t/fs} + n_a(t)
 //! ```
 
+use crate::fft::with_thread_scratch;
+use crate::soa;
 use iac_channel::{Awgn, Cfo};
 use iac_linalg::{C64, CMat, Rng64};
 
@@ -49,6 +51,16 @@ impl Medium {
     /// `rx_antennas` streams of `n_samples` zeroed entries (reusing buffer
     /// capacity) before the transmissions and noise are accumulated. Zero
     /// allocations once warm.
+    ///
+    /// Structure-of-arrays inner loops (see [`crate::soa`]): per
+    /// transmission the CFO phasor recurrence is hoisted into a split
+    /// rot\[t\] array, each transmit stream is deinterleaved once, and the
+    /// channel application becomes per-(a,b) packed [`soa::axpy`] passes
+    /// into split per-rx-antenna accumulators, finished by one rotate-and-
+    /// add pass onto the air buffer. Per output sample the scalar operation
+    /// sequence is identical to the historical t-outer interleaved loop
+    /// (accumulate over `b` ascending, then `+= acc·rot`), so the mix is
+    /// bit-identical — only the loop nesting and storage changed.
     pub fn mix_into(
         transmissions: &[AirTransmission<'_>],
         rx_antennas: usize,
@@ -74,25 +86,57 @@ impl Medium {
                 tx.streams.iter().all(|s| s.len() == len),
                 "ragged transmit streams"
             );
-            // Incremental CFO phasor (one rotation per sample).
+            // Samples past the receive window contribute nothing (the old
+            // loop `break`ed at the window edge).
+            let len = len.min(n_samples.saturating_sub(tx.start));
+            if len == 0 {
+                continue;
+            }
+            // Split scratch: the phasor pair, one deinterleaved stream pair,
+            // and [re|im] accumulator pairs for every rx antenna packed into
+            // one flat buffer (so the buffer count stays constant whatever
+            // the antenna count).
+            let (mut rot_re, mut rot_im, mut s_re, mut s_im, mut acc) =
+                with_thread_scratch(|s| {
+                    (
+                        s.take_f64(len),
+                        s.take_f64(len),
+                        s.take_f64(len),
+                        s.take_f64(len),
+                        s.take_f64(2 * rx_antennas * len),
+                    )
+                });
+            // Incremental CFO phasor (one rotation per sample), hoisted out
+            // of the antenna loops — the historical code advanced it once
+            // per sample and reused the value for every rx antenna.
             let step = C64::cis(
                 std::f64::consts::TAU * tx.cfo.delta_f_hz / tx.cfo.sample_rate_hz,
             );
-            let mut rot = tx.cfo.phasor_at(tx.start);
-            for t in 0..len {
-                let air_t = tx.start + t;
-                if air_t >= n_samples {
-                    break;
+            soa::fill_phasors(tx.cfo.phasor_at(tx.start), step, &mut rot_re, &mut rot_im);
+            for (b, stream) in tx.streams.iter().enumerate() {
+                soa::split_into(&stream[..len], &mut s_re, &mut s_im);
+                for (a, pair) in acc.chunks_exact_mut(2 * len).enumerate() {
+                    let (acc_re, acc_im) = pair.split_at_mut(len);
+                    soa::axpy(tx.channel[(a, b)], &s_re, &s_im, acc_re, acc_im);
                 }
-                for (a, out_stream) in out.iter_mut().enumerate() {
-                    let mut acc = C64::zero();
-                    for b in 0..tx_antennas {
-                        acc = tx.channel[(a, b)].mul_add(tx.streams[b][t], acc);
-                    }
-                    out_stream[air_t] += acc * rot;
-                }
-                rot *= step;
             }
+            for (pair, out_stream) in acc.chunks_exact(2 * len).zip(out.iter_mut()) {
+                let (acc_re, acc_im) = pair.split_at(len);
+                soa::accumulate_rotated(
+                    acc_re,
+                    acc_im,
+                    &rot_re,
+                    &rot_im,
+                    &mut out_stream[tx.start..tx.start + len],
+                );
+            }
+            with_thread_scratch(|s| {
+                s.put_f64(rot_re);
+                s.put_f64(rot_im);
+                s.put_f64(s_re);
+                s.put_f64(s_im);
+                s.put_f64(acc);
+            });
         }
         for stream in out.iter_mut() {
             noise.add_to(stream, rng);

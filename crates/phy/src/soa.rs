@@ -1,0 +1,254 @@
+//! Structure-of-arrays sample kernels: split re/im slices, packed math.
+//!
+//! The interleaved `C64` layout (`re, im, re, im, …`) forces the
+//! autovectorizer into shuffle-heavy code: a packed register holds
+//! alternating components, and every complex multiply spends more time
+//! permuting lanes than multiplying. Splitting a stream into two `f64`
+//! slices (`re[]` / `im[]`) turns each complex operation into independent
+//! packed FMAs over homogeneous lanes — the layout every SIMD DSP library
+//! uses for exactly this reason.
+//!
+//! Every kernel here performs the **same scalar operations in the same
+//! order** as the corresponding `C64` expression, so results are
+//! **bit-identical** to the interleaved forms (`crates/phy/tests/
+//! soa_identity.rs` pins this for every kernel):
+//!
+//! | kernel | `C64` expression it mirrors |
+//! |---|---|
+//! | [`scale`]        | `out[t] = s[t] * w`           (precode)        |
+//! | [`scale_in_place`] | `s[t] *= w`                 (equalize)       |
+//! | [`axpy`]         | `acc[t] = w.mul_add(s[t], acc[t])` (combine / mix) |
+//! | [`fill_phasors`] | `rot = rot0; rot *= step` recurrence (CFO)     |
+//! | [`rotate_scale`] | `out[t] = eff * (s[t] * rot[t])` (reconstruct) |
+//! | [`accumulate_rotated`] | `out[t] += acc[t] * rot[t]` (medium superposition) |
+//!
+//! The interleaved `_into` entry points in [`crate::precode`],
+//! [`crate::project`], [`crate::medium`] and [`crate::cancel`] are thin
+//! adapters over these kernels: they split their inputs into pooled `f64`
+//! buffers from the thread-local [`Scratch`](crate::dsp::Scratch) arena
+//! (zero allocations once warm), run the split kernel, and merge back, so
+//! no caller in `iac-core`/`iac-mac`/`iac-sim` changes. Native SoA callers
+//! can skip the conversion entirely and batch as many streams per call as
+//! they like — each kernel is one flat pass over its slices.
+
+use iac_linalg::C64;
+
+/// Deinterleave a `C64` slice into split re/im slices (all `src.len()`).
+#[inline]
+pub fn split_into(src: &[C64], re: &mut [f64], im: &mut [f64]) {
+    assert_eq!(src.len(), re.len(), "split length mismatch");
+    assert_eq!(src.len(), im.len(), "split length mismatch");
+    for t in 0..src.len() {
+        re[t] = src[t].re;
+        im[t] = src[t].im;
+    }
+}
+
+/// Reinterleave split slices into a caller-owned `C64` buffer (cleared and
+/// refilled, reusing capacity).
+#[inline]
+pub fn merge_into(re: &[f64], im: &[f64], out: &mut Vec<C64>) {
+    assert_eq!(re.len(), im.len(), "merge length mismatch");
+    out.clear();
+    out.extend(re.iter().zip(im).map(|(&r, &i)| C64::new(r, i)));
+}
+
+/// `out[t] = s[t] · w` — complex scale by a constant weight. Mirrors the
+/// `C64` product `s * w` component-for-component.
+#[inline]
+pub fn scale(s_re: &[f64], s_im: &[f64], w: C64, out_re: &mut [f64], out_im: &mut [f64]) {
+    let n = s_re.len();
+    assert!(
+        s_im.len() == n && out_re.len() == n && out_im.len() == n,
+        "scale length mismatch"
+    );
+    for t in 0..n {
+        out_re[t] = s_re[t] * w.re - s_im[t] * w.im;
+        out_im[t] = s_re[t] * w.im + s_im[t] * w.re;
+    }
+}
+
+/// `s[t] *= w` in place — the equalizer's scalar-channel inversion.
+#[inline]
+pub fn scale_in_place(re: &mut [f64], im: &mut [f64], w: C64) {
+    assert_eq!(re.len(), im.len(), "scale length mismatch");
+    for t in 0..re.len() {
+        let r = re[t] * w.re - im[t] * w.im;
+        let i = re[t] * w.im + im[t] * w.re;
+        re[t] = r;
+        im[t] = i;
+    }
+}
+
+/// `acc[t] = w.mul_add(s[t], acc[t])` — the complex AXPY at the heart of
+/// projection (`w = conj(u_a)`) and channel mixing (`w = h_ab`). Both
+/// components are the same two-FMA chains as [`C64::mul_add`].
+#[inline]
+pub fn axpy(w: C64, s_re: &[f64], s_im: &[f64], acc_re: &mut [f64], acc_im: &mut [f64]) {
+    let n = s_re.len();
+    assert!(
+        s_im.len() == n && acc_re.len() == n && acc_im.len() == n,
+        "axpy length mismatch"
+    );
+    for t in 0..n {
+        acc_re[t] = w.re.mul_add(s_re[t], w.im.mul_add(-s_im[t], acc_re[t]));
+        acc_im[t] = w.re.mul_add(s_im[t], w.im.mul_add(s_re[t], acc_im[t]));
+    }
+}
+
+/// Fill `rot` with the CFO phasor recurrence `rot0, rot0·step, …` — the
+/// same sequential product chain the interleaved mixers advance sample by
+/// sample, so every entry is bit-identical to the serial recurrence. (The
+/// recurrence itself is inherently serial; hoisting it into its own array
+/// is what lets every kernel *consuming* the phasors vectorize.)
+#[inline]
+pub fn fill_phasors(rot0: C64, step: C64, rot_re: &mut [f64], rot_im: &mut [f64]) {
+    assert_eq!(rot_re.len(), rot_im.len(), "phasor length mismatch");
+    let mut rot = rot0;
+    for t in 0..rot_re.len() {
+        rot_re[t] = rot.re;
+        rot_im[t] = rot.im;
+        rot *= step;
+    }
+}
+
+/// `out[t] = eff · (s[t] · rot[t])` — reconstruction of a known packet's
+/// contribution: symbol, CFO re-rotation, then the effective channel.
+/// Mirrors the nested `C64` products exactly (inner product first).
+#[inline]
+pub fn rotate_scale(
+    eff: C64,
+    s_re: &[f64],
+    s_im: &[f64],
+    rot_re: &[f64],
+    rot_im: &[f64],
+    out_re: &mut [f64],
+    out_im: &mut [f64],
+) {
+    let n = s_re.len();
+    assert!(
+        s_im.len() == n
+            && rot_re.len() == n
+            && rot_im.len() == n
+            && out_re.len() == n
+            && out_im.len() == n,
+        "rotate_scale length mismatch"
+    );
+    for t in 0..n {
+        let p_re = s_re[t] * rot_re[t] - s_im[t] * rot_im[t];
+        let p_im = s_re[t] * rot_im[t] + s_im[t] * rot_re[t];
+        out_re[t] = eff.re * p_re - eff.im * p_im;
+        out_im[t] = eff.re * p_im + eff.im * p_re;
+    }
+}
+
+/// `out[t] += acc[t] · rot[t]` — the medium's superposition step: rotate an
+/// accumulated per-antenna contribution by the CFO phasor and add it onto
+/// the (interleaved) air buffer. The one bridging kernel that writes
+/// interleaved output directly: the sum target is the shared air buffer,
+/// and a split-merge round trip per transmission would cost more passes
+/// than the rotation itself.
+#[inline]
+pub fn accumulate_rotated(
+    acc_re: &[f64],
+    acc_im: &[f64],
+    rot_re: &[f64],
+    rot_im: &[f64],
+    out: &mut [C64],
+) {
+    let n = acc_re.len();
+    assert!(
+        acc_im.len() == n && rot_re.len() == n && rot_im.len() == n && out.len() == n,
+        "accumulate length mismatch"
+    );
+    for t in 0..n {
+        let p_re = acc_re[t] * rot_re[t] - acc_im[t] * rot_im[t];
+        let p_im = acc_re[t] * rot_im[t] + acc_im[t] * rot_re[t];
+        out[t].re += p_re;
+        out[t].im += p_im;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iac_linalg::Rng64;
+
+    fn random_split(n: usize, seed: u64) -> (Vec<C64>, Vec<f64>, Vec<f64>) {
+        let mut rng = Rng64::new(seed);
+        let src: Vec<C64> = (0..n).map(|_| rng.cn01()).collect();
+        let mut re = vec![0.0; n];
+        let mut im = vec![0.0; n];
+        split_into(&src, &mut re, &mut im);
+        (src, re, im)
+    }
+
+    #[test]
+    fn split_merge_roundtrip_is_exact() {
+        for n in [0usize, 1, 3, 17, 256] {
+            let (src, re, im) = random_split(n, 1);
+            let mut back = Vec::new();
+            merge_into(&re, &im, &mut back);
+            assert_eq!(back, src, "n={n}");
+        }
+    }
+
+    #[test]
+    fn scale_matches_complex_product_bitwise() {
+        let (src, re, im) = random_split(33, 2);
+        let w = C64::new(0.3, -1.7);
+        let mut o_re = vec![0.0; 33];
+        let mut o_im = vec![0.0; 33];
+        scale(&re, &im, w, &mut o_re, &mut o_im);
+        for t in 0..33 {
+            let expect = src[t] * w;
+            assert_eq!((o_re[t], o_im[t]), (expect.re, expect.im), "t={t}");
+        }
+    }
+
+    #[test]
+    fn axpy_matches_mul_add_bitwise() {
+        let (src, re, im) = random_split(57, 3);
+        let (acc0, mut a_re, mut a_im) = random_split(57, 4);
+        let w = C64::new(-0.9, 0.4);
+        axpy(w, &re, &im, &mut a_re, &mut a_im);
+        for t in 0..57 {
+            let expect = w.mul_add(src[t], acc0[t]);
+            assert_eq!((a_re[t], a_im[t]), (expect.re, expect.im), "t={t}");
+        }
+    }
+
+    #[test]
+    fn phasors_match_serial_recurrence_bitwise() {
+        let rot0 = C64::cis(0.123);
+        let step = C64::cis(0.0456);
+        let mut re = vec![0.0; 100];
+        let mut im = vec![0.0; 100];
+        fill_phasors(rot0, step, &mut re, &mut im);
+        let mut rot = rot0;
+        for t in 0..100 {
+            assert_eq!((re[t], im[t]), (rot.re, rot.im), "t={t}");
+            rot *= step;
+        }
+    }
+
+    #[test]
+    fn empty_slices_are_fine() {
+        scale(&[], &[], C64::one(), &mut [], &mut []);
+        axpy(C64::i(), &[], &[], &mut [], &mut []);
+        fill_phasors(C64::one(), C64::one(), &mut [], &mut []);
+        rotate_scale(C64::one(), &[], &[], &[], &[], &mut [], &mut []);
+        accumulate_rotated(&[], &[], &[], &[], &mut []);
+        let mut out = vec![C64::one()];
+        merge_into(&[], &[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn ragged_kernel_input_rejected() {
+        let mut a = [0.0];
+        let mut b = [0.0, 0.0];
+        scale_in_place(&mut a, &mut b, C64::one());
+    }
+}

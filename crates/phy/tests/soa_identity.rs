@@ -1,0 +1,246 @@
+//! Bit-identity pins for the structure-of-arrays kernel layer.
+//!
+//! Every SoA kernel (and every interleaved `_into` adapter built on one)
+//! promises results **bit-identical** to the historical interleaved scalar
+//! code — that is what keeps the golden-snapshot suite and the cross-thread
+//! determinism contract intact across the layout change. These tests pin
+//! each kernel against an independent scalar reference (a re-implementation
+//! of the pre-SoA loop, not a call back into the library), sweeping odd
+//! lengths, zero length, and non-power-of-two sizes. Comparisons use exact
+//! equality on `f64` bit patterns via `assert_eq!` — no tolerances.
+
+use iac_channel::{Awgn, Cfo};
+use iac_linalg::{C64, CMat, CVec, Rng64};
+use iac_phy::medium::{AirTransmission, Medium};
+use iac_phy::{cancel, precode, project, soa};
+
+/// Length sweep: zero, one, odd primes, non-powers-of-two, and one size
+/// past any vectorizer's unroll tail.
+const LENGTHS: &[usize] = &[0, 1, 3, 5, 7, 12, 33, 100, 257, 1000];
+
+fn samples(n: usize, seed: u64) -> Vec<C64> {
+    let mut rng = Rng64::new(seed);
+    (0..n).map(|_| rng.cn01()).collect()
+}
+
+fn split(src: &[C64]) -> (Vec<f64>, Vec<f64>) {
+    (src.iter().map(|z| z.re).collect(), src.iter().map(|z| z.im).collect())
+}
+
+#[test]
+fn precode_into_matches_scalar_reference() {
+    for &n in LENGTHS {
+        for antennas in [1usize, 2, 3] {
+            let mut rng = Rng64::new(7 + n as u64 + antennas as u64);
+            let s = samples(n, 11 + n as u64);
+            let v = CVec::random_unit(antennas, &mut rng);
+            let power: f64 = 1.7;
+            // Scalar reference: the historical interleaved loop.
+            let amp = power.sqrt();
+            let reference: Vec<Vec<C64>> = (0..antennas)
+                .map(|a| {
+                    let w = v[a] * amp;
+                    s.iter().map(|&x| x * w).collect()
+                })
+                .collect();
+            let mut out = Vec::new();
+            precode::precode_into(&s, &v, power, &mut out);
+            assert_eq!(out, reference, "n={n} antennas={antennas}");
+        }
+    }
+}
+
+#[test]
+fn combine_into_matches_scalar_reference() {
+    for &n in LENGTHS {
+        for antennas in [1usize, 2, 4] {
+            let mut rng = Rng64::new(23 + n as u64 + antennas as u64);
+            let streams: Vec<Vec<C64>> =
+                (0..antennas).map(|a| samples(n, 31 + n as u64 + a as u64)).collect();
+            let u = CVec::random_unit(antennas, &mut rng);
+            // Scalar reference: antenna-major conj-weight mul_add chain.
+            let mut reference = vec![C64::zero(); n];
+            for (a, stream) in streams.iter().enumerate() {
+                let w = u[a].conj();
+                for (o, &x) in reference.iter_mut().zip(stream) {
+                    *o = w.mul_add(x, *o);
+                }
+            }
+            let mut out = Vec::new();
+            project::combine_into(&streams, &u, &mut out);
+            assert_eq!(out, reference, "n={n} antennas={antennas}");
+        }
+    }
+}
+
+#[test]
+fn mix_into_matches_scalar_reference() {
+    // Two transmitters with different shapes, CFOs, and start offsets —
+    // including a start that truncates at the window edge — against the
+    // historical t-outer interleaved mixer. Noise is zero so the comparison
+    // isolates the channel/CFO path (noise is injected after mixing by the
+    // same code in both).
+    for &n in &[1usize, 3, 12, 100, 257] {
+        let fs = 500_000.0;
+        let mut rng = Rng64::new(41 + n as u64);
+        let h1 = CMat::random(2, 2, &mut rng);
+        let h2 = CMat::random(2, 1, &mut rng);
+        let s1: Vec<Vec<C64>> = (0..2).map(|a| samples(n, 43 + a as u64)).collect();
+        let s2: Vec<Vec<C64>> = vec![samples(n, 47)];
+        let start2 = n / 2 + 1; // truncates: start2 + n > n
+        let txs = [
+            AirTransmission { streams: &s1, channel: &h1, cfo: Cfo::new(321.0, fs), start: 0 },
+            AirTransmission { streams: &s2, channel: &h2, cfo: Cfo::new(-150.0, fs), start: start2 },
+        ];
+        // Scalar reference: the pre-SoA sample-major loop.
+        let mut reference = vec![vec![C64::zero(); n]; 2];
+        for tx in &txs {
+            let step = C64::cis(std::f64::consts::TAU * tx.cfo.delta_f_hz / tx.cfo.sample_rate_hz);
+            let mut rot = tx.cfo.phasor_at(tx.start);
+            for t in 0..tx.streams[0].len() {
+                let air_t = tx.start + t;
+                if air_t >= n {
+                    break;
+                }
+                for (a, out_stream) in reference.iter_mut().enumerate() {
+                    let mut acc = C64::zero();
+                    for (b, stream) in tx.streams.iter().enumerate() {
+                        acc = tx.channel[(a, b)].mul_add(stream[t], acc);
+                    }
+                    out_stream[air_t] += acc * rot;
+                }
+                rot *= step;
+            }
+        }
+        let mut mix_rng = Rng64::new(1);
+        let out = Medium::mix(&txs, 2, n, Awgn::new(0.0), &mut mix_rng);
+        assert_eq!(out, reference, "n={n}");
+    }
+}
+
+#[test]
+fn reconstruct_into_matches_scalar_reference() {
+    for &n in LENGTHS {
+        let fs = 500_000.0;
+        let mut rng = Rng64::new(53 + n as u64);
+        let h = CMat::random(2, 2, &mut rng);
+        let v = CVec::random_unit(2, &mut rng);
+        let syms = samples(n, 59 + n as u64);
+        let (power, cfo_hz, start): (f64, f64, usize) = (1.3, 275.0, 17);
+        // Scalar reference: per-antenna eff coefficient and the serial
+        // rot *= step recurrence of the pre-SoA loop.
+        let amp = power.sqrt();
+        let step = C64::cis(std::f64::consts::TAU * cfo_hz / fs);
+        let rot0 = C64::cis(std::f64::consts::TAU * cfo_hz * start as f64 / fs);
+        let reference: Vec<Vec<C64>> = (0..2)
+            .map(|a| {
+                let mut eff = C64::zero();
+                for b in 0..2 {
+                    eff = h[(a, b)].mul_add(v[b], eff);
+                }
+                eff = eff.scale(amp);
+                let mut rot = rot0;
+                syms.iter()
+                    .map(|&s| {
+                        let sample = eff * (s * rot);
+                        rot *= step;
+                        sample
+                    })
+                    .collect()
+            })
+            .collect();
+        let out = cancel::reconstruct(&syms, &v, &h, power, cfo_hz, fs, start);
+        assert_eq!(out, reference, "n={n}");
+    }
+}
+
+#[test]
+fn equalize_soa_kernel_matches_in_place_loop() {
+    for &n in LENGTHS {
+        let s = samples(n, 61 + n as u64);
+        let g = C64::new(0.8, -0.3);
+        let inv = g.recip().unwrap();
+        // Interleaved in-place form (still the shipping adapter).
+        let mut interleaved = s.clone();
+        project::equalize_in_place(&mut interleaved, g);
+        // Split kernel.
+        let (mut re, mut im) = split(&s);
+        soa::scale_in_place(&mut re, &mut im, inv);
+        for t in 0..n {
+            assert_eq!((re[t], im[t]), (interleaved[t].re, interleaved[t].im), "n={n} t={t}");
+        }
+    }
+}
+
+#[test]
+fn fft_split_matches_interleaved_bitwise() {
+    // Forward and inverse, across all OFDM-relevant power-of-two sizes:
+    // the split path must produce the same f64 bit patterns as the
+    // interleaved path, not merely close values.
+    for &n in &[1usize, 2, 4, 8, 16, 64, 256, 1024] {
+        let orig = samples(n, 67 + n as u64);
+        let mut interleaved = orig.clone();
+        iac_phy::fft::fft(&mut interleaved);
+        let (mut re, mut im) = split(&orig);
+        iac_phy::fft::fft_split(&mut re, &mut im);
+        for t in 0..n {
+            assert_eq!(
+                (re[t], im[t]),
+                (interleaved[t].re, interleaved[t].im),
+                "forward n={n} t={t}"
+            );
+        }
+        iac_phy::fft::ifft(&mut interleaved);
+        iac_phy::fft::ifft_split(&mut re, &mut im);
+        for t in 0..n {
+            assert_eq!(
+                (re[t], im[t]),
+                (interleaved[t].re, interleaved[t].im),
+                "roundtrip n={n} t={t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fft_split_roundtrip_recovers_signal() {
+    let n = 512;
+    let orig = samples(n, 71);
+    let (mut re, mut im) = split(&orig);
+    iac_phy::fft::fft_split(&mut re, &mut im);
+    iac_phy::fft::ifft_split(&mut re, &mut im);
+    for t in 0..n {
+        assert!(
+            (re[t] - orig[t].re).abs() < 1e-9 && (im[t] - orig[t].im).abs() < 1e-9,
+            "t={t}"
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "power of two")]
+fn fft_split_rejects_non_power_of_two() {
+    let mut re = vec![0.0; 12];
+    let mut im = vec![0.0; 12];
+    iac_phy::fft::fft_split(&mut re, &mut im);
+}
+
+#[test]
+fn adapters_are_deterministic_across_repeat_calls() {
+    // The pooled split buffers must not leak state between calls: running
+    // the same adapter twice (warm pool) returns byte-identical output.
+    let s = samples(257, 73);
+    let mut rng = Rng64::new(79);
+    let v = CVec::random_unit(2, &mut rng);
+    let mut first = Vec::new();
+    precode::precode_into(&s, &v, 1.0, &mut first);
+    let mut second = Vec::new();
+    precode::precode_into(&s, &v, 1.0, &mut second);
+    assert_eq!(first, second);
+    let u = CVec::random_unit(2, &mut rng);
+    let mut c1 = Vec::new();
+    project::combine_into(&first, &u, &mut c1);
+    let mut c2 = Vec::new();
+    project::combine_into(&first, &u, &mut c2);
+    assert_eq!(c1, c2);
+}

@@ -13,11 +13,28 @@
 //!    always computes with [`Rng64::derive_seed`]`(m, i)`. A trial's output
 //!    is a pure function of `(m, i)` — no shared RNG, no dependence on which
 //!    worker ran it or when.
-//! 2. **Order-independent reduction.** Workers claim trial indices from a
-//!    shared atomic cursor and keep `(index, output)` pairs locally; the
-//!    reducer merges the per-worker shards and sorts by trial index before
-//!    any aggregation. The reduce input is therefore the same sequence a
-//!    single thread would have produced.
+//! 2. **Order-independent reduction.** Workers claim trial-index **ranges**
+//!    from a shared atomic cursor and keep `(index, output)` pairs locally;
+//!    the reducer merges the per-worker shards and sorts by trial index
+//!    before any aggregation. The reduce input is therefore the same
+//!    sequence a single thread would have produced.
+//!
+//! The claiming is **chunked work-stealing** (guided self-scheduling): each
+//! claim takes `remaining / (4 · workers)` trials, at least one — big chunks
+//! early so per-claim synchronisation amortises and each worker's
+//! thread-local scratch arenas (FFT plans, pooled buffers — see
+//! [`iac_phy::fft::with_thread_scratch`]) stay warm across a run of trials,
+//! geometrically shrinking toward the end so an unlucky run of slow trials
+//! cannot idle the other workers. The caller's own thread acts as worker
+//! lane 0 — one fewer spawn, and the lane with the warmest arena (it
+//! persists across engine runs) always participates.
+//!
+//! [`run_trials`] resolves the *requested* thread count and then clamps it
+//! to the machine's available parallelism: workers beyond the core count
+//! cannot run concurrently and only add spawn/switch overhead and cold
+//! arenas (outputs are bit-identical at every worker count, so the clamp is
+//! unobservable in results). The `_on` variants take an exact worker count
+//! for tests and scaling studies.
 //!
 //! Construction of non-[`Send`] machinery (e.g. the `Rc`-based metrics log
 //! of `iac-des` simulations) happens *inside* the worker closure, so only
@@ -26,6 +43,7 @@
 use iac_linalg::Rng64;
 use iac_obs::{ProfileTree, Profiler, TraceEvent};
 use iac_phy::ScratchStats;
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -100,60 +118,127 @@ pub fn trials_for(master_seed: u64, replicates: usize) -> Vec<Trial> {
         .collect()
 }
 
+/// Parse an `IAC_TEST_THREADS` value. The variable being *set* always
+/// yields a definite worker count: a positive integer is taken as-is, and
+/// `0`, negative, or garbage values clamp to 1 (a mis-set CI matrix cell
+/// must degrade to serial, not silently fall through to "all cores").
+fn threads_from_env(raw: &str) -> usize {
+    raw.trim().parse::<usize>().ok().filter(|&n| n > 0).unwrap_or(1)
+}
+
 /// Resolve a requested worker count: `0` means "pick for me" — the
 /// `IAC_TEST_THREADS` environment variable if set (the CI matrix runs the
-/// suite at 1 and 4), otherwise the machine's available parallelism.
+/// suite at 1 and 4; `0` or unparsable values clamp to 1, see
+/// `threads_from_env`), otherwise the machine's available parallelism.
 pub fn resolve_threads(requested: usize) -> usize {
     if requested > 0 {
         return requested;
     }
     if let Ok(v) = std::env::var("IAC_TEST_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
+        return threads_from_env(&v);
     }
+    available_cores()
+}
+
+/// The machine's available parallelism (1 when unknown).
+fn available_cores() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
 }
 
-/// Run `n` trials on `threads` workers and return the outputs **in trial
-/// order** — bit-identical to `(0..n).map(run).collect()` for every thread
-/// count, provided `run(i)` is a pure function of `i` (which the seeding
-/// contract guarantees for registry scenarios).
-///
-/// Workers claim indices from a shared atomic cursor (no per-thread
-/// pre-partitioning, so an unlucky shard of slow trials cannot idle the
-/// other workers) and the reducer sorts the merged shards by index.
+/// The worker count [`run_trials`] actually uses for `n` trials at a
+/// requested thread count: [`resolve_threads`], then clamped to the
+/// machine's cores (oversubscribed workers cannot run concurrently — they
+/// only add spawn overhead and cold thread-local arenas) and to the trial
+/// count. Outputs are bit-identical at every worker count, so the clamp
+/// never changes results — only wall-clock.
+pub fn effective_workers(requested: usize, n: usize) -> usize {
+    resolve_threads(requested)
+        .min(available_cores())
+        .clamp(1, n.max(1))
+}
+
+/// Geometric chunk divisor: each claim takes `remaining / (4·workers)`
+/// trials. 4 chunks per worker on the first lap keeps the tail granular
+/// enough that one slow chunk cannot idle the pool for long, while the
+/// first claims are large enough to amortise the CAS and keep a worker's
+/// scratch arena hot across a run of consecutive trials.
+const CHUNK_DIVISOR: usize = 4;
+
+/// Claim the next index range from the shared cursor: geometrically
+/// shrinking chunks, never empty, `None` once the cursor passes `n`.
+fn claim_chunk(cursor: &AtomicUsize, n: usize, workers: usize) -> Option<Range<usize>> {
+    loop {
+        let start = cursor.load(Ordering::Acquire);
+        if start >= n {
+            return None;
+        }
+        let size = ((n - start) / (CHUNK_DIVISOR * workers)).max(1);
+        if cursor
+            .compare_exchange_weak(start, start + size, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            return Some(start..start + size);
+        }
+    }
+}
+
+/// One worker's claim loop: drain chunks off the cursor, run every trial in
+/// each, keep `(index, output)` pairs locally.
+fn worker_shard<T, F>(cursor: &AtomicUsize, n: usize, workers: usize, run: &F) -> Vec<(usize, T)>
+where
+    F: Fn(usize) -> T + Sync,
+{
+    let mut shard: Vec<(usize, T)> = Vec::new();
+    while let Some(range) = claim_chunk(cursor, n, workers) {
+        for i in range {
+            shard.push((i, run(i)));
+        }
+    }
+    shard
+}
+
+/// Run `n` trials on the *effective* worker count for `threads` (see
+/// [`effective_workers`]) and return the outputs **in trial order** —
+/// bit-identical to `(0..n).map(run).collect()` for every thread count,
+/// provided `run(i)` is a pure function of `i` (which the seeding contract
+/// guarantees for registry scenarios).
 pub fn run_trials<T, F>(n: usize, threads: usize, run: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = resolve_threads(threads).min(n.max(1));
-    if threads <= 1 || n <= 1 {
+    run_trials_on(n, effective_workers(threads, n), run)
+}
+
+/// [`run_trials`] on an **exact** worker count — no environment lookup, no
+/// core clamp. The ordinary entry point is [`run_trials`]; this variant
+/// exists for tests and scaling studies that must exercise a specific pool
+/// size regardless of the machine (the determinism contract holds for any
+/// `workers`).
+pub fn run_trials_on<T, F>(n: usize, workers: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 || n <= 1 {
         return (0..n).map(run).collect();
     }
     let cursor = AtomicUsize::new(0);
     let mut merged: Vec<(usize, T)> = Vec::with_capacity(n);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
+        let handles: Vec<_> = (1..workers)
             .map(|_| {
-                scope.spawn(|| {
-                    let mut shard: Vec<(usize, T)> = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        shard.push((i, run(i)));
-                    }
-                    shard
-                })
+                let run = &run;
+                let cursor = &cursor;
+                scope.spawn(move || worker_shard(cursor, n, workers, run))
             })
             .collect();
+        // The caller is worker lane 0: no spawn for it, and its thread-local
+        // scratch arena (warm from previous runs) serves a share of trials.
+        merged.extend(worker_shard(&cursor, n, workers, &run));
         for h in handles {
             merged.extend(h.join().expect("trial worker panicked"));
         }
@@ -166,14 +251,17 @@ where
 }
 
 /// [`run_trials`] under a cooperative [`Deadline`]: workers check the
-/// deadline **before claiming** each trial index and stop claiming once it
-/// has passed; every claimed trial still runs to completion. Returns the
-/// completed outputs and whether the run finished all `n` trials.
+/// deadline **before starting** each trial and stop once it has passed; a
+/// trial that has started always runs to completion. Returns the completed
+/// outputs and whether the run finished all `n` trials.
 ///
-/// Because indices are claimed in order from a shared cursor, the completed
-/// set is always the contiguous prefix `0..k` — so a partial result is
+/// The returned partial result is always the contiguous prefix `0..k` —
 /// bit-identical to the first `k` trials of an unbounded run, whatever the
-/// thread count (only `k` itself is timing-dependent).
+/// thread count (only `k` itself is timing-dependent). With chunked
+/// claiming a worker may abandon the tail of its chunk at expiry; the
+/// reducer keeps the longest contiguous prefix and discards any trials
+/// completed beyond the first gap, so the contract survives mid-chunk
+/// expiry.
 pub fn run_trials_deadline<T, F>(
     n: usize,
     threads: usize,
@@ -184,11 +272,26 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_trials_deadline_on(n, effective_workers(threads, n), deadline, run)
+}
+
+/// [`run_trials_deadline`] on an **exact** worker count (see
+/// [`run_trials_on`] for when that is the right tool).
+pub fn run_trials_deadline_on<T, F>(
+    n: usize,
+    workers: usize,
+    deadline: Deadline,
+    run: F,
+) -> (Vec<T>, bool)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     if !deadline.is_bounded() {
-        return (run_trials(n, threads, run), true);
+        return (run_trials_on(n, workers, run), true);
     }
-    let threads = resolve_threads(threads).min(n.max(1));
-    if threads <= 1 || n <= 1 {
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 || n <= 1 {
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
             if deadline.expired() {
@@ -198,36 +301,44 @@ where
         }
         return (out, true);
     }
+    let deadline_shard = |cursor: &AtomicUsize| {
+        let mut shard: Vec<(usize, T)> = Vec::new();
+        'claims: while let Some(range) = claim_chunk(cursor, n, workers) {
+            for i in range {
+                if deadline.expired() {
+                    break 'claims;
+                }
+                shard.push((i, run(i)));
+            }
+        }
+        shard
+    };
     let cursor = AtomicUsize::new(0);
     let mut merged: Vec<(usize, T)> = Vec::with_capacity(n);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
+        let handles: Vec<_> = (1..workers)
             .map(|_| {
-                scope.spawn(|| {
-                    let mut shard: Vec<(usize, T)> = Vec::new();
-                    loop {
-                        if deadline.expired() {
-                            break;
-                        }
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        shard.push((i, run(i)));
-                    }
-                    shard
-                })
+                let shard = &deadline_shard;
+                let cursor = &cursor;
+                scope.spawn(move || shard(cursor))
             })
             .collect();
+        merged.extend(deadline_shard(&cursor));
         for h in handles {
             merged.extend(h.join().expect("trial worker panicked"));
         }
     });
     merged.sort_by_key(|&(i, _)| i);
-    // Claims are sequential from the cursor and every claimed trial
-    // completes, so the merged indices are exactly `0..merged.len()`.
-    debug_assert!(merged.iter().enumerate().all(|(k, &(i, _))| k == i));
-    let complete = merged.len() == n;
+    // Longest contiguous prefix: trials completed beyond a mid-chunk
+    // abandonment are dropped so the partial result stays the exact serial
+    // prefix 0..k.
+    let k = merged
+        .iter()
+        .enumerate()
+        .take_while(|&(k, &(i, _))| i == k)
+        .count();
+    merged.truncate(k);
+    let complete = k == n;
     (merged.into_iter().map(|(_, t)| t).collect(), complete)
 }
 
@@ -249,7 +360,7 @@ pub struct TrialTiming {
 /// One worker lane's contribution to a [`run_trials_observed`] run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkerFacts {
-    /// Lane id, `0..threads`.
+    /// Lane id, `0..threads` (lane 0 is the calling thread).
     pub lane: u32,
     /// Trials this lane claimed.
     pub trials: u64,
@@ -346,6 +457,28 @@ impl LaneFacts {
     }
 }
 
+/// A lane's chunked claim loop: like [`worker_shard`] but each trial runs
+/// under the lane's observation ([`Lane::observe`] records the claim order
+/// and wraps the trial in a span).
+fn observed_shard<T, F>(
+    cursor: &AtomicUsize,
+    n: usize,
+    workers: usize,
+    run: &F,
+    lane: &mut Lane,
+) -> Vec<(usize, T)>
+where
+    F: Fn(usize) -> T + Sync,
+{
+    let mut shard: Vec<(usize, T)> = Vec::new();
+    while let Some(range) = claim_chunk(cursor, n, workers) {
+        for i in range {
+            shard.push((i, lane.observe(i, run)));
+        }
+    }
+    shard
+}
+
 /// [`run_trials`] plus passive observation: per-trial wall-clock timings,
 /// per-lane scratch-arena deltas, and a merged span profile. The outputs are
 /// computed by the identical claim/merge/sort machinery, so they are
@@ -356,10 +489,20 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_trials_observed_on(n, effective_workers(threads, n), run)
+}
+
+/// [`run_trials_observed`] on an **exact** worker count (see
+/// [`run_trials_on`]). Lane 0 is always the calling thread.
+pub fn run_trials_observed_on<T, F>(n: usize, workers: usize, run: F) -> (Vec<T>, EngineFacts)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let origin = Instant::now();
     let mut facts = EngineFacts::default();
-    let threads = resolve_threads(threads).min(n.max(1));
-    if threads <= 1 || n <= 1 {
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 || n <= 1 {
         let mut lane = Lane::start(0, origin);
         let out: Vec<T> = (0..n).map(|i| lane.observe(i, &run)).collect();
         lane.finish().fold_into(&mut facts);
@@ -368,24 +511,20 @@ where
     let cursor = AtomicUsize::new(0);
     let mut merged: Vec<(usize, T)> = Vec::with_capacity(n);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads as u32)
+        let handles: Vec<_> = (1..workers as u32)
             .map(|lane_id| {
                 let run = &run;
                 let cursor = &cursor;
                 scope.spawn(move || {
                     let mut lane = Lane::start(lane_id, origin);
-                    let mut shard: Vec<(usize, T)> = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        shard.push((i, lane.observe(i, run)));
-                    }
+                    let shard = observed_shard(cursor, n, workers, run, &mut lane);
                     (shard, lane.finish())
                 })
             })
             .collect();
+        let mut lane0 = Lane::start(0, origin);
+        merged.extend(observed_shard(&cursor, n, workers, &run, &mut lane0));
+        lane0.finish().fold_into(&mut facts);
         for h in handles {
             let (shard, lane) = h.join().expect("trial worker panicked");
             merged.extend(shard);
@@ -395,6 +534,7 @@ where
     merged.sort_by_key(|&(i, _)| i);
     debug_assert_eq!(merged.len(), n);
     facts.timings.sort_by_key(|t| t.index);
+    facts.workers.sort_by_key(|w| w.lane);
     (merged.into_iter().map(|(_, t)| t).collect(), facts)
 }
 
@@ -403,19 +543,49 @@ mod tests {
     use super::*;
 
     #[test]
-    fn trial_order_is_restored_for_every_thread_count() {
+    fn trial_order_is_restored_for_every_worker_count() {
+        // `run_trials_on`, not `run_trials`: the public entry clamps to the
+        // machine's cores, and this test must exercise real multi-worker
+        // chunk claiming even on a single-core container.
         let serial: Vec<u64> = (0..37).map(|i| Rng64::derive(9, i as u64).next_u64()).collect();
-        for threads in [1, 2, 3, 7, 16] {
-            let parallel = run_trials(37, threads, |i| Rng64::derive(9, i as u64).next_u64());
-            assert_eq!(parallel, serial, "threads = {threads}");
+        for workers in [1, 2, 3, 7, 16] {
+            let parallel = run_trials_on(37, workers, |i| Rng64::derive(9, i as u64).next_u64());
+            assert_eq!(parallel, serial, "workers = {workers}");
         }
+        // The clamped public entry agrees, whatever the machine.
+        for threads in [0, 1, 2, 7] {
+            let clamped = run_trials(37, threads, |i| Rng64::derive(9, i as u64).next_u64());
+            assert_eq!(clamped, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn chunks_cover_every_index_exactly_once() {
+        // The CAS claim loop must partition 0..n whatever the contention:
+        // replay it single-threaded and check the geometric sizes.
+        let n = 1000;
+        let workers = 4;
+        let cursor = AtomicUsize::new(0);
+        let mut seen = vec![0u32; n];
+        let mut last_size = usize::MAX;
+        while let Some(r) = claim_chunk(&cursor, n, workers) {
+            assert!(!r.is_empty());
+            assert!(r.len() <= last_size, "chunks must shrink (or stay) over time");
+            last_size = r.len();
+            for i in r {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "every index claimed exactly once");
+        // First claim of 1000 trials on 4 workers: 1000/16 = 62.
+        assert_eq!(last_size, 1, "the tail degenerates to single-trial chunks");
     }
 
     #[test]
     fn uneven_trial_costs_still_reduce_in_order() {
         // Early trials sleep, late ones return immediately: workers finish
         // out of order, the reducer must not care.
-        let out = run_trials(12, 4, |i| {
+        let out = run_trials_on(12, 4, |i| {
             if i < 4 {
                 std::thread::sleep(std::time::Duration::from_millis(5));
             }
@@ -428,6 +598,8 @@ mod tests {
     fn zero_and_one_trials_work() {
         assert_eq!(run_trials(0, 4, |i| i), Vec::<usize>::new());
         assert_eq!(run_trials(1, 4, |i| i + 1), vec![1]);
+        assert_eq!(run_trials_on(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_trials_on(1, 4, |i| i + 1), vec![1]);
     }
 
     #[test]
@@ -447,16 +619,43 @@ mod tests {
     }
 
     #[test]
-    fn observed_outputs_match_plain_for_every_thread_count() {
+    fn env_var_edge_cases_clamp_to_one() {
+        // The CI matrix exports IAC_TEST_THREADS; a mis-set cell must mean
+        // "serial", never "all cores". (Pure parser — process-env mutation
+        // is racy under the parallel test harness.)
+        assert_eq!(threads_from_env("4"), 4);
+        assert_eq!(threads_from_env(" 2 "), 2, "whitespace is trimmed");
+        assert_eq!(threads_from_env("0"), 1, "zero clamps to serial");
+        assert_eq!(threads_from_env("-3"), 1, "negative clamps to serial");
+        assert_eq!(threads_from_env(""), 1, "empty clamps to serial");
+        assert_eq!(threads_from_env("garbage"), 1, "garbage clamps to serial");
+        assert_eq!(threads_from_env("2.5"), 1, "non-integer clamps to serial");
+    }
+
+    #[test]
+    fn effective_workers_clamps_to_cores_and_trials() {
+        let cores = available_cores();
+        assert_eq!(effective_workers(1, 100), 1);
+        assert!(effective_workers(1024, 100) <= cores);
+        assert_eq!(effective_workers(4, 2), 2.min(cores), "never more workers than trials");
+        assert_eq!(effective_workers(4, 0), 1, "zero trials still needs one lane");
+    }
+
+    #[test]
+    fn observed_outputs_match_plain_for_every_worker_count() {
         let serial: Vec<u64> = (0..23).map(|i| Rng64::derive(3, i as u64).next_u64()).collect();
-        for threads in [1, 2, 4] {
+        for workers in [1, 2, 4] {
             let (out, facts) =
-                run_trials_observed(23, threads, |i| Rng64::derive(3, i as u64).next_u64());
-            assert_eq!(out, serial, "threads = {threads}");
+                run_trials_observed_on(23, workers, |i| Rng64::derive(3, i as u64).next_u64());
+            assert_eq!(out, serial, "workers = {workers}");
             assert_eq!(
                 facts.workers.iter().map(|w| w.trials).sum::<u64>(),
                 23,
                 "every trial is claimed by exactly one lane"
+            );
+            assert!(
+                facts.workers.windows(2).all(|w| w[0].lane < w[1].lane),
+                "per-lane summaries come back in lane order"
             );
             if iac_obs::ENABLED {
                 assert_eq!(facts.timings.len(), 23);
@@ -487,14 +686,15 @@ mod tests {
 
     #[test]
     fn expired_deadline_stops_between_trials() {
-        // Already-expired deadline: zero trials run (serial and parallel).
-        for threads in [1, 4] {
+        // Already-expired deadline: zero trials run (serial and parallel) —
+        // the k == 0 corner of the contiguous-prefix contract.
+        for workers in [1, 4] {
             let past = Deadline::at(Instant::now() - Duration::from_millis(1));
             assert!(past.expired());
             assert_eq!(past.remaining(), Some(Duration::ZERO));
-            let (out, complete) = run_trials_deadline(8, threads, past, |i| i);
-            assert!(!complete, "threads = {threads}");
-            assert!(out.is_empty(), "threads = {threads}");
+            let (out, complete) = run_trials_deadline_on(8, workers, past, |i| i);
+            assert!(!complete, "workers = {workers}");
+            assert!(out.is_empty(), "workers = {workers}");
         }
     }
 
@@ -502,19 +702,59 @@ mod tests {
     fn partial_results_are_the_contiguous_prefix() {
         // Slow trials against a short deadline: whatever completes must be
         // the prefix 0..k with the same values an unbounded run produces.
-        for threads in [1, 3] {
-            let (out, complete) = run_trials_deadline(
+        // Worker counts above 2 exercise mid-chunk abandonment: a lane that
+        // gives up inside its claimed range leaves a hole the reducer must
+        // truncate at.
+        for workers in [1, 3, 4] {
+            let (out, complete) = run_trials_deadline_on(
                 64,
-                threads,
+                workers,
                 Deadline::after(Duration::from_millis(30)),
                 |i| {
                     std::thread::sleep(Duration::from_millis(4));
                     i * 7
                 },
             );
-            assert!(!complete, "64 * 4ms cannot fit in 30ms (threads = {threads})");
+            assert!(!complete, "64 * 4ms cannot fit in 30ms (workers = {workers})");
             assert!(out.len() < 64);
             assert_eq!(out, (0..out.len()).map(|i| i * 7).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn deadline_prefix_at_four_workers_matches_serial_byte_for_byte() {
+        // Regression test for the partial-prefix contract at 4 workers: the
+        // prefix must be bit-identical to the serial prefix (u64 outputs are
+        // compared exactly), across many deadline positions so k sweeps the
+        // full range — including k == 0 (expired before the first trial) and
+        // k == n (deadline after the last).
+        let n = 48;
+        let serial: Vec<u64> = (0..n).map(|i| Rng64::derive(13, i as u64).next_u64()).collect();
+        let trial = |i: usize| {
+            std::thread::sleep(Duration::from_micros(300));
+            Rng64::derive(13, i as u64).next_u64()
+        };
+        // k == 0: already expired.
+        let (out, complete) = run_trials_deadline_on(
+            n,
+            4,
+            Deadline::at(Instant::now() - Duration::from_millis(1)),
+            trial,
+        );
+        assert!(!complete);
+        assert_eq!(out, Vec::<u64>::new());
+        // k == n: generous deadline completes and matches serial exactly.
+        let (out, complete) =
+            run_trials_deadline_on(n, 4, Deadline::after(Duration::from_secs(3600)), trial);
+        assert!(complete);
+        assert_eq!(out, serial);
+        // Mid-run expiry at several horizons: every partial is the exact
+        // serial prefix (bit-identical u64s), whatever k lands on.
+        for ms in [1u64, 3, 7] {
+            let (out, complete) =
+                run_trials_deadline_on(n, 4, Deadline::after(Duration::from_millis(ms)), trial);
+            assert_eq!(out.as_slice(), &serial[..out.len()], "horizon {ms}ms");
+            assert_eq!(complete, out.len() == n, "horizon {ms}ms");
         }
     }
 
@@ -548,5 +788,32 @@ mod tests {
             |f: &EngineFacts| f.workers.iter().map(|w| w.scratch.plan_hits + w.scratch.plan_misses).sum::<u64>();
         assert_eq!(total(&first), 2);
         assert_eq!(total(&second), 2, "second run reports its own delta, not the cumulative total");
+    }
+
+    #[test]
+    fn caller_thread_is_lane_zero_and_keeps_its_arena_warm() {
+        // Lane 0 runs on the calling thread: its scratch delta accumulates
+        // on *this* thread's arena. Two observed runs back to back — the
+        // second run's plan lookups hit the cache the first run warmed,
+        // proving per-worker plan reuse across engine runs.
+        let trial = |_i: usize| {
+            let mut x = vec![iac_linalg::C64::one(); 32];
+            iac_phy::fft::fft(&mut x);
+        };
+        // Warm the calling thread's arena: after this, plan(32) is cached
+        // on *this* thread, so any trial lane 0 claims must be a plan hit.
+        trial(0);
+        let before = iac_phy::fft::thread_scratch_stats();
+        let (_, facts) = run_trials_observed_on(3, 2, trial);
+        let lane0 = facts.workers.iter().find(|w| w.lane == 0).expect("lane 0 reported");
+        let on_caller = iac_phy::fft::thread_scratch_stats().since(&before);
+        assert_eq!(
+            lane0.scratch, on_caller,
+            "lane 0's delta is the calling thread's arena delta"
+        );
+        assert_eq!(
+            lane0.scratch.plan_misses, 0,
+            "lane 0 reuses the plan the calling thread cached before the run"
+        );
     }
 }

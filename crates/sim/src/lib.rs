@@ -55,7 +55,10 @@ pub mod scenarios;
 pub mod stats;
 pub mod testbed;
 
-pub use engine::{run_trials, run_trials_deadline, run_trials_observed, Deadline, EngineFacts, Trial};
+pub use engine::{
+    effective_workers, run_trials, run_trials_deadline, run_trials_deadline_on, run_trials_on,
+    run_trials_observed, run_trials_observed_on, Deadline, EngineFacts, Trial,
+};
 pub use obs::{SweepObs, TrialFacts};
 pub use experiment::{ExperimentConfig, ScatterPoint, DEFAULT_SEED};
 pub use netsim::{CalibratedPhy, NetSim, NetSimOutcome, SourceSpec};

@@ -366,4 +366,39 @@ mod tests {
         assert!(text.contains("campus uplink"));
         assert!(text.contains("Jain"));
     }
+
+    #[test]
+    fn queues_are_bounded_and_tail_drops_are_surfaced() {
+        // Metro-scale runs must not balloon memory: every MAC queue the
+        // scenario constructs is bounded (`TrafficQueue::with_capacity`
+        // inside the event MAC, driven by `queue_capacity: Some(..)` in the
+        // spec), and the resulting tail-drop counter is part of the
+        // scenario's reported contract.
+        for cfg in [CampusConfig::quick(27), CampusConfig::paper_default(27)] {
+            assert!(cfg.queue_capacity > 0);
+            let spec = spec_for(&cfg);
+            assert_eq!(
+                spec.cfg.queue_capacity,
+                Some(cfg.queue_capacity),
+                "spec must wire a bounded queue"
+            );
+        }
+        // Overload a tiny queue so drops actually occur, then check the
+        // counter flows from the run's log into the registry trial output.
+        let cfg = CampusConfig {
+            queue_capacity: 2,
+            uplink_pps: 2_000.0,
+            ..CampusConfig::quick(28)
+        };
+        let r = run(&cfg);
+        assert!(r.log.drops_overflow > 0, "overload produced no tail drops");
+        let out = crate::desrec::campus_trial_output(&r);
+        let surfaced = out
+            .metrics
+            .iter()
+            .find(|(k, _)| *k == "drops_overflow")
+            .map(|&(_, v)| v)
+            .expect("drops_overflow missing from trial output");
+        assert_eq!(surfaced, r.log.drops_overflow as f64);
+    }
 }

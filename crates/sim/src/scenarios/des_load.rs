@@ -443,4 +443,43 @@ mod tests {
         assert!((a - b).abs() < 10.0, "knee jumped: {a} vs {b}");
         assert!(b < a, "higher overload p95 must pull the knee down");
     }
+
+    #[test]
+    fn queues_are_bounded_and_tail_drops_are_surfaced() {
+        // Every point in the sweep — both systems — runs with a bounded MAC
+        // queue (`TrafficQueue::with_capacity` inside the event MAC, wired
+        // through `queue_capacity: Some(..)`), so overload past the knee
+        // sheds load at the queue tail instead of growing memory.
+        for cfg in [LoadSweepConfig::quick(35), LoadSweepConfig::paper_default(35)] {
+            assert!(cfg.queue_capacity > 0);
+            for &load in &cfg.loads_pps {
+                for iac in [true, false] {
+                    assert_eq!(
+                        point_spec(&cfg, load, iac).cfg.queue_capacity,
+                        Some(cfg.queue_capacity),
+                        "spec must wire a bounded queue (load={load}, iac={iac})"
+                    );
+                }
+            }
+        }
+        // The drop counters flow from the per-point logs into the registry
+        // trial output, and the overloaded top of the sweep actually drops.
+        let r = run(&LoadSweepConfig::quick(36));
+        let out = crate::desrec::load_trial_output(&r);
+        let surfaced = |key: &str| {
+            out.metrics
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|&(_, v)| v)
+                .unwrap_or_else(|| panic!("{key} missing from trial output"))
+        };
+        let iac_total: u64 = r.points.iter().map(|p| p.iac.overflow_drops).sum();
+        let mimo_total: u64 = r.points.iter().map(|p| p.mimo.overflow_drops).sum();
+        assert_eq!(surfaced("iac_drops_overflow"), iac_total as f64);
+        assert_eq!(surfaced("mimo_drops_overflow"), mimo_total as f64);
+        assert!(
+            iac_total > 0 && mimo_total > 0,
+            "overloaded sweep produced no tail drops (iac={iac_total}, mimo={mimo_total})"
+        );
+    }
 }
